@@ -1,0 +1,85 @@
+"""Common simulation drivers used by multiple figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.common.addresses import MB
+from repro.common.config import (
+    PageTableConfig,
+    SimulationConfig,
+    SystemConfig,
+    scaled_system_config,
+)
+from repro.core.report import SimulationReport
+from repro.core.virtuoso import Virtuoso
+
+#: Physical memory used by the benchmark systems (laptop-scale).
+BENCH_MEMORY_BYTES = 1024 * MB
+
+#: Page-walk-cache size used when sweeping page-table designs: scaled down
+#: with the workload footprints so the radix baseline behaves as it does at
+#: full scale (see EXPERIMENTS.md, "scaling methodology").
+SCALED_PWC_ENTRIES = 4
+
+
+def bench_config(name: str = "bench",
+                 page_table: Optional[PageTableConfig] = None,
+                 thp_policy: str = "linux",
+                 fragmentation_target: float = 1.0,
+                 os_mode: str = "imitation",
+                 physical_memory_bytes: int = BENCH_MEMORY_BYTES,
+                 swap_size_bytes: Optional[int] = None,
+                 swap_threshold: Optional[float] = None,
+                 tiny_caches: bool = False) -> SystemConfig:
+    """Build a scaled benchmark system configuration.
+
+    ``tiny_caches`` shrinks the data caches further (8/16/32 KB) for the
+    page-table-design studies, where the paper's 50-100 GB working sets keep
+    page-table data out of the caches; with megabyte-scale workloads the same
+    pressure requires proportionally smaller caches (see EXPERIMENTS.md).
+    """
+    config = scaled_system_config(name=name,
+                                  physical_memory_bytes=physical_memory_bytes,
+                                  fragmentation_target=fragmentation_target,
+                                  thp_policy=thp_policy)
+    if tiny_caches:
+        config = replace(
+            config,
+            l1d_cache=replace(config.l1d_cache, size_bytes=8 * 1024),
+            l2_cache=replace(config.l2_cache, size_bytes=16 * 1024),
+            l3_cache=replace(config.l3_cache, size_bytes=32 * 1024),
+        )
+    if page_table is not None:
+        config = config.with_page_table(page_table, name=name)
+    if os_mode != "imitation":
+        config = config.with_simulation(replace(config.simulation, os_mode=os_mode))
+    mimicos = config.mimicos
+    if swap_size_bytes is not None:
+        mimicos = replace(mimicos, swap_size_bytes=swap_size_bytes)
+    if swap_threshold is not None:
+        mimicos = replace(mimicos, swap_threshold=swap_threshold)
+    if mimicos is not config.mimicos:
+        config = config.with_mimicos(mimicos)
+    return config
+
+
+def scaled_page_table(kind: str, **overrides) -> PageTableConfig:
+    """Page-table configuration with benchmark-scaled structures."""
+    defaults: Dict[str, object] = {}
+    if kind == "radix":
+        defaults = {"pwc_entries": SCALED_PWC_ENTRIES, "pwc_associativity": SCALED_PWC_ENTRIES}
+    if kind in ("hdc", "ht"):
+        # The paper sizes the global hash tables at 4 GB for a 256 GB machine;
+        # the same proportion for megabyte-scale footprints is a few MB.
+        defaults = {"hash_table_size_bytes": 2 * MB}
+    defaults.update(overrides)
+    return PageTableConfig(kind=kind, **defaults)
+
+
+def run_workload(config: SystemConfig, workload, seed: int = 1,
+                 max_instructions: Optional[int] = None) -> SimulationReport:
+    """Build a Virtuoso instance for ``config`` and run ``workload``."""
+    system = Virtuoso(config, seed=seed)
+    return system.run(workload, max_instructions=max_instructions)

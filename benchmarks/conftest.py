@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+required simulations, renders the resulting rows/series as text (written to
+``benchmarks/results/`` and attached to the pytest-benchmark ``extra_info``),
+and asserts the qualitative *shape* the paper reports (who wins, roughly by
+how much, where crossovers fall).  Absolute numbers are not expected to match
+the paper because the substrate is a scaled-down simulator, not the authors'
+Xeon testbed (see DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_figure(name: str, text: str) -> Path:
+    """Write a rendered figure/table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def record():
+    """Fixture exposing :func:`record_figure` to benchmarks."""
+    return record_figure

@@ -1,0 +1,87 @@
+"""Figure 1: fraction of execution time in address translation vs. allocation.
+
+The paper reports that long-running (graph/HPC) workloads spend far more
+time on address translation than on physical memory allocation, while for
+short-running (FaaS/LLM/image) workloads the relationship flips: memory
+allocation (the page-fault handler) dominates and translation is negligible.
+"""
+
+from repro.analysis.reporting import FigureSeries, format_figure
+from repro.common.addresses import MB
+from repro.workloads import (
+    GraphWorkload,
+    GUPSWorkload,
+    JSONWorkload,
+    LLMInferenceWorkload,
+    MatrixSum2DWorkload,
+    WordCountWorkload,
+    XSBenchWorkload,
+)
+
+from benchmarks.bench_common import bench_config, run_workload, scaled_page_table
+
+
+def _long_running_workloads():
+    return [
+        GraphWorkload("BFS", footprint_bytes=48 * MB, memory_operations=6000, prefault=True),
+        GraphWorkload("PR", footprint_bytes=48 * MB, memory_operations=6000, prefault=True),
+        XSBenchWorkload(footprint_bytes=48 * MB, lookups=800, prefault=True),
+        GUPSWorkload(footprint_bytes=48 * MB, memory_operations=6000, prefault=True),
+    ]
+
+
+def _short_running_workloads():
+    return [
+        JSONWorkload(scale=0.3),
+        WordCountWorkload(scale=0.3),
+        LLMInferenceWorkload("Bagel", scale=0.3),
+        MatrixSum2DWorkload(footprint_bytes=6 * MB, memory_operations=6000),
+    ]
+
+
+def _run_fig01():
+    translation = FigureSeries("address_translation_fraction")
+    allocation = FigureSeries("memory_allocation_fraction")
+    categories = {}
+
+    for workload in _long_running_workloads():
+        config = bench_config("fig01-long", page_table=scaled_page_table("radix"))
+        report = run_workload(config, workload)
+        translation.add(workload.name, report.translation_fraction_of_cycles)
+        allocation.add(workload.name, report.allocation_fraction_of_cycles)
+        categories[workload.name] = "long"
+
+    for workload in _short_running_workloads():
+        config = bench_config("fig01-short", page_table=scaled_page_table("radix"))
+        report = run_workload(config, workload)
+        translation.add(workload.name, report.translation_fraction_of_cycles)
+        allocation.add(workload.name, report.allocation_fraction_of_cycles)
+        categories[workload.name] = "short"
+
+    return translation, allocation, categories
+
+
+def test_fig01_vm_overheads(benchmark, record):
+    translation, allocation, categories = benchmark.pedantic(_run_fig01, rounds=1, iterations=1)
+    text = format_figure("Figure 1: fraction of execution time spent in "
+                         "address translation and physical memory allocation",
+                         [translation, allocation])
+    record("fig01_vm_overheads", text)
+
+    long_names = [name for name, kind in categories.items() if kind == "long"]
+    short_names = [name for name, kind in categories.items() if kind == "short"]
+    translation_by_name = dict(translation.points)
+    allocation_by_name = dict(allocation.points)
+
+    # Long-running workloads: translation dominates allocation.
+    long_translation = sum(translation_by_name[n] for n in long_names) / len(long_names)
+    long_allocation = sum(allocation_by_name[n] for n in long_names) / len(long_names)
+    assert long_translation > long_allocation
+
+    # Short-running workloads: allocation dominates translation, and is a
+    # large fraction of total execution time.
+    short_translation = sum(translation_by_name[n] for n in short_names) / len(short_names)
+    short_allocation = sum(allocation_by_name[n] for n in short_names) / len(short_names)
+    assert short_allocation > short_translation
+    assert short_allocation > 0.10
+    assert short_allocation > long_allocation

@@ -1,0 +1,46 @@
+"""Figure 3: average page-table-walk latency varies widely across workloads.
+
+The paper measures 45+ applications of varying memory intensity on a real
+machine and finds PTW latency ranging from ~39 cycles (an I/O stressor) to
+more than 180 cycles (SSSP), concluding that a fixed PTW latency cannot
+model reality.  The bench sweeps the memory-intensity microbenchmark plus a
+graph kernel and checks that the spread is large.
+"""
+
+from repro.analysis.reporting import FigureSeries, format_figure
+from repro.common.addresses import MB
+from repro.workloads import GraphWorkload, IntensitySweepWorkload
+
+from benchmarks.bench_common import bench_config, run_workload, scaled_page_table
+
+
+def _run_fig03():
+    series = FigureSeries("avg_ptw_latency_cycles")
+    workloads = [IntensitySweepWorkload(intensity, memory_operations=4000)
+                 for intensity in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)]
+    workloads.append(GraphWorkload("SSSP", footprint_bytes=48 * MB,
+                                   memory_operations=5000, prefault=True))
+    for workload in workloads:
+        config = bench_config("fig03", page_table=scaled_page_table("radix"),
+                              thp_policy="bd")
+        report = run_workload(config, workload)
+        series.add(workload.name, report.average_ptw_latency)
+    return series
+
+
+def test_fig03_ptw_latency_variation(benchmark, record):
+    series = benchmark.pedantic(_run_fig03, rounds=1, iterations=1)
+    text = format_figure("Figure 3: average PTW latency across workloads of "
+                         "varying memory intensity (cycles)", [series])
+    record("fig03_ptw_variation", text)
+
+    values = [value for value in series.values() if value > 0]
+    assert len(values) >= 5
+    # The spread must be large: the most expensive workload's walks cost at
+    # least 2x the cheapest one's, so a single fixed latency cannot fit both.
+    assert max(values) > 2.0 * min(values)
+    # Higher intensity should not make walks cheaper (monotone trend across
+    # the sweep endpoints).
+    low_intensity = series.points[0][1]
+    high_intensity = series.points[5][1]
+    assert high_intensity > low_intensity

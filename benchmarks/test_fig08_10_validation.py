@@ -1,0 +1,103 @@
+"""Figures 8, 9 and 10: validation of Virtuoso against the reference system.
+
+* Fig. 8 — IPC estimation accuracy of Virtuoso vs. the fixed-latency
+  baseline, both compared with the reference system (the stand-in for the
+  real Xeon, see DESIGN.md §2).  Virtuoso must be the more accurate of the
+  two on average.
+* Fig. 9 — cosine similarity between Virtuoso's and the reference's
+  page-fault latency series for the short-running, fault-bound workloads.
+* Fig. 10 — L2 TLB MPKI and PTW-latency estimation accuracy for the
+  long-running, translation-bound workloads.
+"""
+
+from repro.analysis.reporting import FigureSeries, format_figure
+from repro.common.addresses import MB
+from repro.common.stats import geometric_mean
+from repro.validation.reference import ValidationResult, run_validation
+from repro.workloads import (
+    GraphWorkload,
+    GUPSWorkload,
+    JSONWorkload,
+    LLMInferenceWorkload,
+    WordCountWorkload,
+    XSBenchWorkload,
+)
+
+from benchmarks.bench_common import bench_config, scaled_page_table
+
+
+def _long_running_factories():
+    return {
+        "BFS": lambda: GraphWorkload("BFS", footprint_bytes=32 * MB,
+                                     memory_operations=4000, prefault=True),
+        "PR": lambda: GraphWorkload("PR", footprint_bytes=32 * MB,
+                                    memory_operations=4000, prefault=True),
+        "XS": lambda: XSBenchWorkload(footprint_bytes=32 * MB, lookups=500, prefault=True),
+        "RND": lambda: GUPSWorkload(footprint_bytes=32 * MB, memory_operations=4000,
+                                    prefault=True),
+    }
+
+
+def _short_running_factories():
+    return {
+        "JSON": lambda: JSONWorkload(scale=0.3),
+        "WCNT": lambda: WordCountWorkload(scale=0.3),
+        "Bagel": lambda: LLMInferenceWorkload("Bagel", scale=0.3),
+    }
+
+
+def _run_validation_suite():
+    config = bench_config("validation", page_table=scaled_page_table("radix"))
+    long_results = {}
+    for name, factory in _long_running_factories().items():
+        run = run_validation(config, factory, name, seed=5)
+        long_results[name] = ValidationResult.from_run(run)
+    short_results = {}
+    for name, factory in _short_running_factories().items():
+        run = run_validation(config, factory, name, seed=5)
+        short_results[name] = ValidationResult.from_run(run)
+    return long_results, short_results
+
+
+def test_fig08_09_10_validation(benchmark, record):
+    long_results, short_results = benchmark.pedantic(_run_validation_suite,
+                                                     rounds=1, iterations=1)
+
+    ipc_virtuoso = FigureSeries("ipc_accuracy_virtuoso")
+    ipc_baseline = FigureSeries("ipc_accuracy_baseline_sniper")
+    mpki_accuracy = FigureSeries("l2_tlb_mpki_accuracy")
+    ptw_accuracy = FigureSeries("ptw_latency_accuracy")
+    for name, result in long_results.items():
+        ipc_virtuoso.add(name, result.ipc_accuracy_virtuoso)
+        ipc_baseline.add(name, result.ipc_accuracy_baseline)
+        mpki_accuracy.add(name, result.tlb_mpki_accuracy)
+        ptw_accuracy.add(name, result.ptw_latency_accuracy)
+
+    cosine = FigureSeries("pf_latency_cosine_similarity")
+    for name, result in short_results.items():
+        cosine.add(name, result.fault_latency_cosine)
+
+    record("fig08_ipc_accuracy",
+           format_figure("Figure 8: IPC estimation accuracy vs the reference system",
+                         [ipc_virtuoso, ipc_baseline]))
+    record("fig09_pf_cosine",
+           format_figure("Figure 9: page-fault latency cosine similarity",
+                         [cosine]))
+    record("fig10_mmu_accuracy",
+           format_figure("Figure 10: L2 TLB MPKI and PTW latency accuracy",
+                         [mpki_accuracy, ptw_accuracy]))
+
+    # Fig. 8 shape: Virtuoso's average IPC accuracy exceeds the baseline's.
+    virtuoso_mean = geometric_mean(v for v in ipc_virtuoso.values() if v > 0)
+    baseline_mean = geometric_mean(max(v, 0.01) for v in ipc_baseline.values())
+    assert virtuoso_mean > baseline_mean
+    assert virtuoso_mean > 0.5
+
+    # Fig. 9 shape: the fault-latency series track the reference reasonably.
+    assert all(value > 0.3 for value in cosine.values())
+    assert sum(cosine.values()) / len(cosine.values()) > 0.5
+
+    # Fig. 10 shape: the MMU-side metrics are estimated accurately (the MMU
+    # model is shared with the reference, so accuracy should be high).
+    assert all(value > 0.6 for value in mpki_accuracy.values())
+    assert all(value > 0.6 for value in ptw_accuracy.values())

@@ -1,0 +1,76 @@
+"""Figure 11: simulation-time and memory overheads of integrating MimicOS.
+
+The paper measures, for the worst-case workload (``randacc``, the highest
+page-faults-per-kilo-instruction), the host slowdown and memory overhead of
+adding MimicOS to ChampSim, Sniper, Ramulator and gem5-SE, and compares
+against enabling gem5 full-system mode.  Here the kernel/application
+instruction counts come from a live imitation-mode run and the per-simulator
+host-cost model (see ``repro.arch.cost``) converts them into the figure.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.arch.cost import SimulationCostModel
+from repro.arch.integrations import INTEGRATIONS, get_integration
+from repro.common.addresses import MB
+from repro.workloads import GUPSWorkload
+
+from benchmarks.bench_common import bench_config, run_workload, scaled_page_table
+
+
+def _run_fig11():
+    # randacc with no pre-faulting: every first touch of a region costs a
+    # fault, making this the highest-PFKI workload of the suite (worst case).
+    config = bench_config("fig11", thp_policy="linux", page_table=scaled_page_table("radix"))
+    report = run_workload(config, GUPSWorkload(footprint_bytes=48 * MB,
+                                               memory_operations=5000, prefault=False))
+    rows = []
+    overheads = {}
+    for key in ("champsim", "sniper", "ramulator", "gem5-se"):
+        integration = INTEGRATIONS[key]
+        model = SimulationCostModel(integration)
+        baseline = model.estimate(report, with_mimicos=False)
+        with_mimicos = model.estimate(report, with_mimicos=True)
+        slowdown = with_mimicos.slowdown_over(baseline)
+        memory_factor = with_mimicos.memory_overhead_over(baseline)
+        overheads[key] = (slowdown, memory_factor)
+        rows.append([integration.name, round(slowdown * 100, 1), round(memory_factor, 2),
+                     round(with_mimicos.host_memory_gb, 2)])
+
+    gem5 = SimulationCostModel(get_integration("gem5-se"))
+    gem5_baseline = gem5.estimate(report, with_mimicos=False)
+    gem5_fs = gem5.estimate_full_system(report)
+    fs_slowdown = gem5_fs.slowdown_over(gem5_baseline)
+    fs_memory = gem5_fs.memory_overhead_over(gem5_baseline)
+    rows.append(["gem5-FS (full kernel)", round(fs_slowdown * 100, 1), round(fs_memory, 2),
+                 round(gem5_fs.host_memory_gb, 2)])
+    return report, rows, overheads, (fs_slowdown, fs_memory)
+
+
+def test_fig11_simulation_overheads(benchmark, record):
+    report, rows, overheads, (fs_slowdown, fs_memory) = benchmark.pedantic(
+        _run_fig11, rounds=1, iterations=1)
+    text = format_table(["simulator", "slowdown_%", "memory_factor", "memory_GB"], rows,
+                        title="Figure 11: MimicOS integration overheads (randacc worst case)")
+    record("fig11_sim_overhead", text)
+
+    assert report.page_faults_per_kilo_instructions > 1.0, \
+        "randacc must be fault-heavy for the worst-case analysis"
+
+    slowdowns = [slowdown for slowdown, _ in overheads.values()]
+    average_slowdown = sum(slowdowns) / len(slowdowns)
+    # MimicOS adds a bounded, proportional cost (the paper's scaled-up
+    # workloads amortise it to ~20 %; the scaled-down worst case here sits
+    # higher but stays within the same order), and it is clearly cheaper than
+    # enabling a full kernel in gem5.
+    assert 0.0 < average_slowdown < 1.5
+    assert fs_slowdown > average_slowdown
+    assert fs_slowdown > 0.4
+
+    # Memory: online instrumentation (ChampSim, Sniper) roughly doubles the
+    # footprint; offline/emulation reuse (Ramulator, gem5-SE) is almost free;
+    # gem5-FS sits at the paper's 1.69x.
+    assert overheads["champsim"][1] > 1.8
+    assert overheads["sniper"][1] > 1.8
+    assert overheads["ramulator"][1] < 1.1
+    assert overheads["gem5-se"][1] < 1.1
+    assert 1.4 < fs_memory < 2.0

@@ -1,0 +1,53 @@
+"""Figure 12: simulation time grows with the fraction of MimicOS instructions.
+
+The paper's microbenchmark keeps the total application instruction count
+constant while varying how much kernel work each run triggers; simulation
+time correlates strongly (slope ~1.5x) with the fraction of instructions
+executed by MimicOS.  The bench sweeps the same knob (fraction of memory
+accesses that touch a fresh page) and checks the monotone correlation.
+"""
+
+from repro.analysis.reporting import FigureSeries, format_figure
+from repro.arch.cost import SimulationCostModel
+from repro.arch.integrations import get_integration
+from repro.workloads import KernelFractionMicrobenchmark
+
+from benchmarks.bench_common import bench_config, run_workload, scaled_page_table
+
+FRESH_PAGE_FRACTIONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+
+def _run_fig12():
+    model = SimulationCostModel(get_integration("sniper"))
+    fractions = FigureSeries("mimicos_instruction_fraction")
+    normalized_time = FigureSeries("normalized_simulation_time")
+    baseline_time = None
+    for fresh_fraction in FRESH_PAGE_FRACTIONS:
+        config = bench_config("fig12", thp_policy="bd",
+                              page_table=scaled_page_table("radix"))
+        workload = KernelFractionMicrobenchmark(fresh_fraction, memory_operations=4000)
+        report = run_workload(config, workload)
+        cost = model.estimate(report).host_time_units
+        if baseline_time is None:
+            baseline_time = cost
+        fractions.add(fresh_fraction, report.kernel_instruction_fraction)
+        normalized_time.add(fresh_fraction, cost / baseline_time)
+    return fractions, normalized_time
+
+
+def test_fig12_kernel_instruction_correlation(benchmark, record):
+    fractions, normalized_time = benchmark.pedantic(_run_fig12, rounds=1, iterations=1)
+    text = format_figure("Figure 12: simulation time vs fraction of MimicOS instructions",
+                         [fractions, normalized_time])
+    record("fig12_instr_correlation", text)
+
+    fraction_values = fractions.values()
+    time_values = normalized_time.values()
+    # The MimicOS instruction fraction rises with the fault rate, and the
+    # (modelled) simulation time rises with it monotonically.
+    assert fraction_values == sorted(fraction_values)
+    assert time_values == sorted(time_values)
+    assert fraction_values[-1] > fraction_values[0]
+    assert time_values[-1] > 1.3 * time_values[0]
+    # Application instruction count stays constant across the sweep: the time
+    # increase is attributable to MimicOS instructions alone.

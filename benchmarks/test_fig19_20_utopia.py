@@ -1,0 +1,93 @@
+"""Figures 19 and 20: restricting the virtual-to-physical mapping (Utopia).
+
+* Fig. 19 — growing the RestSeg increases address-translation latency: the
+  RestSeg Walker's tag metadata spreads over a larger region and loses cache
+  locality.
+* Fig. 20 — when RestSegs cover most of physical memory, set conflicts force
+  pages out to swap even though free memory exists; time spent swapping
+  explodes as RestSeg coverage grows.
+"""
+
+from repro.analysis.reporting import FigureSeries, format_figure
+from repro.common.addresses import MB
+from repro.common.config import PageTableConfig
+from repro.workloads import GUPSWorkload, GraphWorkload
+
+from benchmarks.bench_common import BENCH_MEMORY_BYTES, bench_config, run_workload
+
+#: RestSeg sizes for Fig. 19 (scaled stand-ins for the paper's 8-64 GB sweep).
+RESTSEG_SIZES_MB = (16, 32, 64, 128)
+
+#: Fraction of main memory covered by the restrictive segments for Fig. 20.
+RESTSEG_COVERAGE = (0.125, 0.375, 0.75)
+
+#: Fig. 20 uses a small physical memory so the workload pressures it.
+FIG20_MEMORY_BYTES = 128 * MB
+
+
+def _utopia_config(name, restseg_bytes, associativity=4, swap_threshold=1.0,
+                   physical_memory_bytes=BENCH_MEMORY_BYTES, tiny_caches=False):
+    page_table = PageTableConfig(kind="utopia", restseg_size_bytes=restseg_bytes,
+                                 restseg_associativity=associativity)
+    return bench_config(name, page_table=page_table, thp_policy="bd",
+                        tiny_caches=tiny_caches, swap_threshold=swap_threshold,
+                        swap_size_bytes=96 * MB,
+                        physical_memory_bytes=physical_memory_bytes)
+
+
+def _run_fig19():
+    series = FigureSeries("avg_translation_latency_cycles")
+    for size_mb in RESTSEG_SIZES_MB:
+        config = _utopia_config(f"fig19-{size_mb}", size_mb * MB)
+        workload = GraphWorkload("BFS", footprint_bytes=12 * MB, memory_operations=3000,
+                                 prefault=True)
+        report = run_workload(config, workload, seed=19)
+        avg_translation = (report.total_translation_latency
+                           / max(1, report.details["mmu"]["counters"]["data_accesses"]))
+        series.add(f"{size_mb}MB", avg_translation)
+    return series
+
+
+def _run_fig20():
+    series = FigureSeries("swap_cycles")
+    eviction_series = FigureSeries("restseg_evictions")
+    for coverage in RESTSEG_COVERAGE:
+        usable = FIG20_MEMORY_BYTES - (64 * MB)  # minus the kernel reservation
+        restseg_bytes = int(usable * coverage / 2)  # two RestSegs share the coverage
+        config = _utopia_config(f"fig20-{int(coverage * 100)}", restseg_bytes,
+                                associativity=2,
+                                physical_memory_bytes=FIG20_MEMORY_BYTES)
+        workload = GUPSWorkload(footprint_bytes=48 * MB, memory_operations=20000,
+                                prefault=False)
+        report = run_workload(config, workload, seed=20)
+        series.add(f"{int(coverage * 100)}%", report.swap_cycles)
+        kernel_stats = report.details["kernel"]
+        eviction_series.add(f"{int(coverage * 100)}%",
+                            kernel_stats["fault_handler"].get("page_faults", 0))
+    return series, eviction_series
+
+
+def test_fig19_restseg_size_sweep(benchmark, record):
+    series = benchmark.pedantic(_run_fig19, rounds=1, iterations=1)
+    record("fig19_restseg_size",
+           format_figure("Figure 19: average translation latency vs RestSeg size",
+                         [series]))
+    values = series.values()
+    assert len(values) == len(RESTSEG_SIZES_MB)
+    # Larger RestSegs must not get cheaper, and the largest is measurably
+    # more expensive than the smallest (the paper reports up to ~10 %).
+    assert values[-1] > values[0]
+    assert values[-1] >= 1.02 * values[0]
+
+
+def test_fig20_swapping_activity(benchmark, record):
+    series, fault_series = benchmark.pedantic(_run_fig20, rounds=1, iterations=1)
+    record("fig20_swapping",
+           format_figure("Figure 20: cycles spent swapping vs RestSeg coverage of memory",
+                         [series, fault_series]))
+    values = series.values()
+    # Swapping activity grows with the fraction of memory under a restrictive
+    # mapping, and the largest coverage swaps by far the most.
+    assert values == sorted(values)
+    assert values[-1] > 0
+    assert values[-1] > 5 * max(1, values[0])

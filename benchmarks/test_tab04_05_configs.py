@@ -1,0 +1,69 @@
+"""Tables 4 and 5: the simulated system configuration and the workload list.
+
+These tables are configuration artefacts rather than measurements; the bench
+renders them from the library's configuration objects and workload registry
+and checks that the headline values of Table 4 are present.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.common.addresses import GB, size_to_human
+from repro.common.config import CASE_STUDY_PAGE_TABLES, baseline_system_config
+from repro.workloads import (
+    LONG_RUNNING_WORKLOADS,
+    SHORT_RUNNING_WORKLOADS,
+    build_workload,
+)
+
+
+def _render_tables():
+    # Table 4 lists the paper's full-size system (256 GB of DDR4-2400).
+    config = baseline_system_config(physical_memory_bytes=256 * GB)
+    hardware_rows = [
+        ["Core", f"{config.core.issue_width}-way OoO x86 @ {config.core.frequency_ghz} GHz"],
+        ["L1 I-TLB", f"{config.l1i_tlb.entries}-entry, {config.l1i_tlb.associativity}-way"],
+        ["L1 D-TLB (4KB)", f"{config.l1d_tlb_4k.entries}-entry, {config.l1d_tlb_4k.associativity}-way"],
+        ["L1 D-TLB (2MB)", f"{config.l1d_tlb_2m.entries}-entry, {config.l1d_tlb_2m.associativity}-way"],
+        ["L2 TLB", f"{config.l2_tlb.entries}-entry, {config.l2_tlb.associativity}-way, "
+                   f"{config.l2_tlb.latency}-cycle"],
+        ["PWCs", f"3 x {config.page_table.pwc_entries}-entry, "
+                 f"{config.page_table.pwc_associativity}-way, {config.page_table.pwc_latency}-cycle"],
+        ["L1 D-cache", f"{size_to_human(config.l1d_cache.size_bytes)}, "
+                       f"{config.l1d_cache.associativity}-way, {config.l1d_cache.latency}-cycle"],
+        ["L2 cache", f"{size_to_human(config.l2_cache.size_bytes)}, "
+                     f"{config.l2_cache.associativity}-way, {config.l2_cache.replacement.upper()}"],
+        ["L3 cache", f"{size_to_human(config.l3_cache.size_bytes)}/core, "
+                     f"{config.l3_cache.associativity}-way"],
+        ["DRAM", f"{size_to_human(config.dram.capacity_bytes)}, DDR4-2400"],
+        ["MimicOS", f"THP={config.mimicos.thp_policy}, swap="
+                    f"{size_to_human(config.mimicos.swap_size_bytes)}, "
+                    f"swap threshold={config.mimicos.swap_threshold:.0%}"],
+    ]
+    scheme_rows = [[name, cfg.kind] for name, cfg in CASE_STUDY_PAGE_TABLES.items()]
+    workload_rows = ([["long-running", name] for name in LONG_RUNNING_WORKLOADS]
+                     + [["short-running", name] for name in SHORT_RUNNING_WORKLOADS])
+    return hardware_rows, scheme_rows, workload_rows
+
+
+def test_tab04_05_configuration_and_workloads(benchmark, record):
+    hardware_rows, scheme_rows, workload_rows = benchmark.pedantic(_render_tables,
+                                                                   rounds=1, iterations=1)
+    text = "\n\n".join([
+        format_table(["component", "configuration"], hardware_rows,
+                     title="Table 4: simulated system configuration"),
+        format_table(["scheme", "kind"], scheme_rows,
+                     title="Table 4 (continued): evaluated translation schemes"),
+        format_table(["suite", "workload"], workload_rows,
+                     title="Table 5: evaluated workloads"),
+    ])
+    record("tab04_05_configuration", text)
+
+    flat = dict(hardware_rows)
+    assert "2048-entry" in flat["L2 TLB"]
+    assert "128-entry" in flat["L1 I-TLB"]
+    assert "32KB" in flat["L1 D-cache"]
+    assert "256GB" in flat["DRAM"]
+    assert len(scheme_rows) >= 7
+    # Every Table 5 workload can actually be built.
+    for _, name in workload_rows:
+        assert build_workload(name) is not None
+    assert len(workload_rows) == len(LONG_RUNNING_WORKLOADS) + len(SHORT_RUNNING_WORKLOADS)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Case-study example: memory-allocation policies under LLM inference.
+
+Reproduces the flavour of the paper's Use Case 2 (Fig. 16): the same
+Llama-like inference workload is run under four physical-memory allocation
+policies — the plain buddy allocator (BD), conservative and aggressive
+reservation-based THP, and Utopia's restrictive hash-based placement — and
+the page-fault latency distribution of each policy is printed.
+
+Run with::
+
+    python examples/llm_allocation_policies.py
+"""
+
+from repro import Virtuoso, scaled_system_config
+from repro.analysis.reporting import format_table
+from repro.common.config import PageTableConfig
+from repro.workloads import LLMInferenceWorkload
+
+
+def run_policy(thp_policy: str, page_table_kind: str = "radix"):
+    config = scaled_system_config(name=f"llm-{thp_policy}-{page_table_kind}",
+                                  physical_memory_bytes=1 << 30,
+                                  thp_policy=thp_policy)
+    config = config.with_page_table(PageTableConfig(kind=page_table_kind))
+    system = Virtuoso(config, seed=11)
+    workload = LLMInferenceWorkload("Llama", scale=0.5, weight_read_scale=0.2)
+    return system.run(workload)
+
+
+def main() -> None:
+    policies = [
+        ("BD (4 KB buddy only)", "bd", "radix"),
+        ("CR-THP (promote at 50 %)", "cr_thp", "radix"),
+        ("AR-THP (promote at 10 %)", "ar_thp", "radix"),
+        ("Utopia RestSeg", "bd", "utopia"),
+    ]
+    rows = []
+    for label, policy, page_table in policies:
+        report = run_policy(policy, page_table)
+        dist = report.fault_latency
+        rows.append([
+            label,
+            dist.count,
+            round(dist.median, 0),
+            round(dist.percentile(0.99), 0),
+            round(dist.stats.maximum, 0),
+            round(dist.mean, 0),
+        ])
+    print(format_table(
+        ["allocation policy", "faults", "p50 (cyc)", "p99 (cyc)", "max (cyc)", "mean (cyc)"],
+        rows,
+        title="Page-fault latency under different allocation policies (Llama inference)"))
+    print()
+    print("Reservation-based THP keeps the median low but grows a heavy tail")
+    print("(promotions zero and remap whole 2 MB regions); Utopia's restrictive")
+    print("hash-based placement keeps every fault cheap and bounded (no tail).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Analysis helpers: assemble and render the paper's tables and figures as text."""
+
+from repro.analysis.reporting import (
+    FigureSeries,
+    format_figure,
+    format_table,
+    normalise_series,
+)
+
+__all__ = ["FigureSeries", "format_figure", "format_table", "normalise_series"]

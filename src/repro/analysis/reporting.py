@@ -1,0 +1,84 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness reproduces every table and figure as *data* (rows and
+series); these helpers render them as aligned text so the pytest-benchmark
+output and EXPERIMENTS.md can show the same rows/series the paper plots,
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureSeries:
+    """One named series of (label, value) points of a figure."""
+
+    name: str
+    points: List[tuple] = field(default_factory=list)
+
+    def add(self, label: object, value: float) -> None:
+        """Append one data point."""
+        self.points.append((label, value))
+
+    def values(self) -> List[float]:
+        """The y-values in order."""
+        return [value for _, value in self.points]
+
+    def labels(self) -> List[object]:
+        """The x-labels in order."""
+        return [label for label, _ in self.points]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    columns = [list(map(_cell, column)) for column in zip(headers, *rows)] if rows \
+        else [[_cell(h)] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(_cell(value).ljust(width)
+                               for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure(title: str, series: Sequence[FigureSeries],
+                  value_format: str = "{:.3f}") -> str:
+    """Render figure data as one text table: labels in the first column."""
+    if not series:
+        return title
+    labels = series[0].labels()
+    headers = ["label"] + [s.name for s in series]
+    rows = []
+    for index, label in enumerate(labels):
+        row = [label]
+        for s in series:
+            value = s.points[index][1] if index < len(s.points) else float("nan")
+            row.append(value_format.format(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def normalise_series(series: FigureSeries, reference: float,
+                     name: Optional[str] = None) -> FigureSeries:
+    """Return a new series with every value divided by ``reference``."""
+    if reference == 0:
+        raise ValueError("cannot normalise to zero")
+    normalised = FigureSeries(name or f"{series.name} (normalised)")
+    for label, value in series.points:
+        normalised.add(label, value / reference)
+    return normalised
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,29 @@
+"""Architectural-simulator integration layer.
+
+Virtuoso is integrated with five simulators in the paper (Sniper, ChampSim,
+Ramulator2, gem5-SE and MQSim).  In this reproduction a single Python
+simulator plays all of those roles; what differs between "integrations" is
+exactly what differed in the paper's Fig. 11/12 and Table 3: the frontend
+style (trace-based, execution-driven, emulation-based, memory-only), the
+instrumentation mode used for MimicOS, the integration effort (lines of
+code), and the host simulation-time / memory cost model.  This package
+captures those differences so the overhead studies can be reproduced.
+"""
+
+from repro.arch.cost import SimulationCostModel
+from repro.arch.frontends import build_frontend
+from repro.arch.integrations import (
+    INTEGRATIONS,
+    SimulatorIntegration,
+    get_integration,
+    integration_names,
+)
+
+__all__ = [
+    "SimulationCostModel",
+    "build_frontend",
+    "INTEGRATIONS",
+    "SimulatorIntegration",
+    "get_integration",
+    "integration_names",
+]

@@ -1,0 +1,112 @@
+"""Descriptors of the five simulator integrations (Table 3 / Fig. 11).
+
+Each :class:`SimulatorIntegration` records how Virtuoso plugs into one host
+simulator: the frontend style, the MimicOS instrumentation mode, the lines
+of code the paper reports for the integration (Table 3), and the host-cost
+coefficients used by the overhead model (how expensive one simulated
+instruction is for that simulator, and its baseline memory footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class IntegrationLoC:
+    """Lines of code modified per simulator component (Table 3)."""
+
+    frontend: int
+    core_model: int
+    mmu_model: int
+    files: int
+
+    @property
+    def total(self) -> int:
+        """Total modified lines."""
+        return self.frontend + self.core_model + self.mmu_model
+
+
+@dataclass(frozen=True)
+class SimulatorIntegration:
+    """One host simulator Virtuoso has been integrated with."""
+
+    name: str
+    frontend: str                  # trace | execution | emulation | memory_only
+    instrumentation: str           # online | offline | reuse_emulation
+    loc: IntegrationLoC
+    #: Relative host cost of simulating one application instruction.
+    host_cost_per_app_instruction: float
+    #: Relative host cost of simulating one injected MimicOS instruction.
+    host_cost_per_kernel_instruction: float
+    #: Baseline host memory footprint in GB (per simulation task).
+    baseline_memory_gb: float
+    description: str = ""
+
+
+#: Integration descriptors.  LoC figures are Table 3 of the paper; the cost
+#: coefficients encode the qualitative differences the paper reports (gem5 is
+#: the slowest per instruction, Ramulator the cheapest since it only models
+#: memory, online instrumentation costs extra per kernel instruction).
+INTEGRATIONS: Dict[str, SimulatorIntegration] = {
+    "champsim": SimulatorIntegration(
+        name="ChampSim", frontend="trace", instrumentation="online",
+        loc=IntegrationLoC(frontend=56, core_model=45, mmu_model=22, files=6),
+        host_cost_per_app_instruction=1.0,
+        host_cost_per_kernel_instruction=1.3,
+        baseline_memory_gb=0.35,
+        description="Trace-based microarchitecture simulator"),
+    "sniper": SimulatorIntegration(
+        name="Sniper", frontend="execution", instrumentation="online",
+        loc=IntegrationLoC(frontend=46, core_model=35, mmu_model=180, files=9),
+        host_cost_per_app_instruction=1.6,
+        host_cost_per_kernel_instruction=2.2,
+        baseline_memory_gb=0.38,
+        description="Execution-driven interval-model simulator"),
+    "ramulator": SimulatorIntegration(
+        name="Ramulator2", frontend="memory_only", instrumentation="offline",
+        loc=IntegrationLoC(frontend=79, core_model=83, mmu_model=44, files=6),
+        host_cost_per_app_instruction=0.25,
+        host_cost_per_kernel_instruction=0.26,
+        baseline_memory_gb=0.2,
+        description="DRAM simulator with a simple core frontend"),
+    "gem5-se": SimulatorIntegration(
+        name="gem5-SE", frontend="emulation", instrumentation="reuse_emulation",
+        loc=IntegrationLoC(frontend=0, core_model=221, mmu_model=44, files=12),
+        host_cost_per_app_instruction=3.2,
+        host_cost_per_kernel_instruction=3.4,
+        baseline_memory_gb=1.0,
+        description="gem5 syscall-emulation mode"),
+    "mqsim": SimulatorIntegration(
+        name="MQSim", frontend="memory_only", instrumentation="offline",
+        loc=IntegrationLoC(frontend=22, core_model=0, mmu_model=18, files=4),
+        host_cost_per_app_instruction=0.05,
+        host_cost_per_kernel_instruction=0.05,
+        baseline_memory_gb=0.1,
+        description="Multi-queue SSD simulator (storage side of VM studies)"),
+}
+
+#: The gem5 full-system comparison point of Fig. 11 (not a MimicOS integration).
+GEM5_FS = SimulatorIntegration(
+    name="gem5-FS", frontend="emulation", instrumentation="reuse_emulation",
+    loc=IntegrationLoC(frontend=0, core_model=0, mmu_model=0, files=0),
+    host_cost_per_app_instruction=3.2,
+    host_cost_per_kernel_instruction=3.4,
+    baseline_memory_gb=1.0,
+    description="gem5 full-system mode running a full Linux kernel")
+
+
+def get_integration(name: str) -> SimulatorIntegration:
+    """Look up an integration descriptor by (case-insensitive) name."""
+    key = name.lower()
+    if key == "gem5-fs":
+        return GEM5_FS
+    if key not in INTEGRATIONS:
+        raise KeyError(f"unknown integration {name!r}; known: {integration_names()}")
+    return INTEGRATIONS[key]
+
+
+def integration_names() -> List[str]:
+    """Names of the MimicOS integrations (excluding the gem5-FS comparison point)."""
+    return sorted(INTEGRATIONS)

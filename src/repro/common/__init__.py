@@ -1,0 +1,94 @@
+"""Common building blocks shared by every Virtuoso subsystem.
+
+This package holds the vocabulary of the simulator: address and page-size
+arithmetic, configuration dataclasses mirroring Table 4 of the paper,
+deterministic random-number helpers and small statistics utilities
+(cosine similarity, accuracy, percentiles) used by the validation and
+analysis code.
+"""
+
+from repro.common.addresses import (
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_SIZES,
+    Address,
+    PageSize,
+    align_down,
+    align_up,
+    is_aligned,
+    page_number,
+    page_offset,
+    pages_spanned,
+    split_vpn_radix,
+)
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    MimicOSConfig,
+    PageTableConfig,
+    PrefetcherConfig,
+    SSDConfig,
+    SystemConfig,
+    TLBConfig,
+    baseline_system_config,
+    real_system_reference_config,
+    scaled_system_config,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    LatencyDistribution,
+    RunningStats,
+    accuracy,
+    cosine_similarity,
+    geometric_mean,
+    normalize,
+    percentile,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "PAGE_SIZE_4K",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_1G",
+    "PAGE_SIZES",
+    "Address",
+    "PageSize",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "page_number",
+    "page_offset",
+    "pages_spanned",
+    "split_vpn_radix",
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "MimicOSConfig",
+    "PageTableConfig",
+    "PrefetcherConfig",
+    "SSDConfig",
+    "SystemConfig",
+    "TLBConfig",
+    "baseline_system_config",
+    "real_system_reference_config",
+    "scaled_system_config",
+    "DeterministicRNG",
+    "Counter",
+    "Histogram",
+    "LatencyDistribution",
+    "RunningStats",
+    "accuracy",
+    "cosine_similarity",
+    "geometric_mean",
+    "normalize",
+    "percentile",
+]

@@ -1,0 +1,137 @@
+"""Kernel-operation records: the raw material of the imitation methodology.
+
+Every MimicOS routine appends :class:`KernelOp` records describing the work
+it performed — how many 'work units' of computation (loop iterations, list
+scans, page-table updates) and which kernel data addresses it touched.  The
+instrumentation layer in :mod:`repro.core.instrumentation` expands these into
+instruction streams that the architectural simulator executes, so the
+latency, cache pollution and DRAM interference of OS routines vary with the
+work actually done instead of being a fixed constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass
+class KernelOp:
+    """One primitive operation performed by a kernel routine.
+
+    Attributes:
+        name: Routine-internal operation name (e.g. ``"buddy_split"``,
+            ``"zero_page"``, ``"pt_update"``); used to pick the instruction
+            mix when the op is expanded into an instruction stream.
+        work_units: Abstract amount of compute work (loop iterations,
+            entries scanned).  Expanded to a proportional number of ALU /
+            branch instructions.
+        memory_touches: Kernel-space (physical) addresses read or written by
+            the operation, as ``(address, is_write)`` pairs.  These become
+            the memory operands of the generated instruction stream and are
+            what pollutes the caches and interferes in DRAM.
+    """
+
+    name: str
+    work_units: int = 1
+    memory_touches: List[Tuple[int, bool]] = field(default_factory=list)
+
+    def touch(self, address: int, is_write: bool = False) -> None:
+        """Record that this operation accessed ``address``."""
+        self.memory_touches.append((address, is_write))
+
+
+@dataclass
+class KernelRoutineTrace:
+    """The complete record of one kernel routine invocation.
+
+    A routine (e.g. ``do_page_fault``) is a sequence of :class:`KernelOp`
+    records plus an optional disk-latency component (major faults / swap-ins
+    are resolved by the SSD model, not by executing instructions).
+    """
+
+    routine: str
+    ops: List[KernelOp] = field(default_factory=list)
+    disk_latency_cycles: int = 0
+
+    def add(self, op: KernelOp) -> KernelOp:
+        """Append an operation and return it for further annotation."""
+        self.ops.append(op)
+        return self
+
+    def new_op(self, name: str, work_units: int = 1) -> KernelOp:
+        """Create, append and return a new operation."""
+        op = KernelOp(name=name, work_units=work_units)
+        self.ops.append(op)
+        return op
+
+    def extend(self, other: "KernelRoutineTrace") -> None:
+        """Inline another routine's trace (callee ops become part of this trace)."""
+        self.ops.extend(other.ops)
+        self.disk_latency_cycles += other.disk_latency_cycles
+
+    @property
+    def total_work_units(self) -> int:
+        """Sum of work units over all operations."""
+        return sum(op.work_units for op in self.ops)
+
+    @property
+    def total_memory_touches(self) -> int:
+        """Total number of kernel memory accesses recorded."""
+        return sum(len(op.memory_touches) for op in self.ops)
+
+    def iter_memory_touches(self) -> Iterable[Tuple[int, bool]]:
+        """Yield every (address, is_write) pair in program order."""
+        for op in self.ops:
+            for touch in op.memory_touches:
+                yield touch
+
+    def op_names(self) -> List[str]:
+        """Names of the operations in order (useful for tests and debugging)."""
+        return [op.name for op in self.ops]
+
+
+class KernelAddressSpace:
+    """Allocator of pseudo-addresses for kernel data structures.
+
+    Kernel structures (buddy free lists, the page-cache radix tree, VMA
+    trees, swap maps, zero pages) live in physical memory in a real system
+    and their accesses fight with application data for cache and DRAM
+    resources.  MimicOS models this by giving every kernel structure a
+    deterministic address region carved out of the top of physical memory;
+    structure code asks this class for the address of "entry i of structure
+    X" when recording memory touches.
+    """
+
+    def __init__(self, base_address: int, size_bytes: int):
+        if size_bytes <= 0:
+            raise ValueError("kernel address space must have positive size")
+        self.base_address = base_address
+        self.size_bytes = size_bytes
+        self._next_offset = 0
+        self._regions: dict = {}
+
+    def region(self, name: str, size_bytes: int) -> int:
+        """Reserve (or return the existing) region ``name`` and return its base."""
+        if name in self._regions:
+            return self._regions[name][0]
+        if self._next_offset + size_bytes > self.size_bytes:
+            # Wrap around: kernel metadata regions are address *models*, not
+            # storage, so overlap is acceptable once the budget is exhausted.
+            self._next_offset = 0
+        base = self.base_address + self._next_offset
+        self._regions[name] = (base, size_bytes)
+        self._next_offset += size_bytes
+        return base
+
+    def entry_address(self, region_name: str, index: int, entry_size: int = 64,
+                      region_size: Optional[int] = None) -> int:
+        """Address of entry ``index`` in region ``region_name``.
+
+        The region is created on first use with ``region_size`` bytes
+        (default 1 MB).  Indices wrap within the region.
+        """
+        size = region_size if region_size is not None else 1 << 20
+        base = self.region(region_name, size)
+        offset = (index * entry_size) % size
+        return base + offset

@@ -1,0 +1,96 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the simulator (workload generators, hash
+functions with salts, fragmentation injection, the reference-system noise
+model) draws from a :class:`DeterministicRNG` seeded explicitly, so any
+experiment is exactly reproducible from its configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """A seeded random source with the handful of draws the simulator needs.
+
+    Wraps :class:`random.Random` rather than numpy's generator because most
+    draws are scalar and interleaved with Python control flow; numpy arrays
+    are used directly by the workload generators when bulk draws matter.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Return an independent RNG derived from this one's seed and ``salt``.
+
+        Forking keeps components independent: adding draws to one component
+        does not perturb the stream seen by another.
+        """
+        return DeterministicRNG((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high]``."""
+        return self._random.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponentially distributed float with the given rate."""
+        return self._random.expovariate(rate)
+
+    def lognormvariate(self, mu: float, sigma: float) -> float:
+        """Log-normally distributed float."""
+        return self._random.lognormvariate(mu, sigma)
+
+    def pareto(self, alpha: float) -> float:
+        """Pareto-distributed float (heavy tail, used for VMA/footprint sizes)."""
+        return self._random.paretovariate(alpha)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one element uniformly."""
+        return self._random.choice(items)
+
+    def choices(self, items: Sequence[T], weights: Sequence[float], k: int) -> List[T]:
+        """Pick ``k`` elements with replacement, weighted."""
+        return self._random.choices(items, weights=weights, k=k)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """Pick ``k`` distinct elements."""
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """Draw an index in ``[0, n)`` following an (approximate) Zipf law.
+
+        Used by the graph-workload generators to produce the power-law vertex
+        popularity that gives graph analytics their irregular, TLB-hostile
+        access patterns.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if n == 1:
+            return 0
+        # Inverse-CDF approximation of a bounded Zipf distribution.
+        u = self._random.random()
+        if skew == 1.0:
+            # Harmonic normalisation approximated with log(n).
+            value = int(n ** u)
+        else:
+            exponent = 1.0 - skew
+            value = int(((n ** exponent - 1.0) * u + 1.0) ** (1.0 / exponent))
+        return min(max(value - 1, 0), n - 1)

@@ -1,0 +1,281 @@
+"""Small statistics utilities used by validation and analysis code.
+
+The paper reports accuracy as ``1 - |estimate - measured| / measured``,
+page-fault-latency agreement as cosine similarity, and summarises results
+with geometric means; those exact definitions live here so every benchmark
+computes them the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine similarity between two equal-length vectors.
+
+    Used by the paper (Fig. 9) to compare page-fault latency time-series
+    between Virtuoso and the real system, because it tolerates fluctuations
+    better than mean absolute error.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        return 1.0
+    dot = sum(x * y for x, y in zip(a, b))
+    norm_a = math.sqrt(sum(x * x for x in a))
+    norm_b = math.sqrt(sum(y * y for y in b))
+    if norm_a == 0.0 and norm_b == 0.0:
+        return 1.0
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def accuracy(estimate: float, measured: float) -> float:
+    """Estimation accuracy as used in the paper's validation figures.
+
+    ``accuracy = 1 - |estimate - measured| / measured`` clamped to ``[0, 1]``.
+    """
+    if measured == 0.0:
+        return 1.0 if estimate == 0.0 else 0.0
+    error = abs(estimate - measured) / abs(measured)
+    return max(0.0, 1.0 - error)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero values are floored to a tiny epsilon."""
+    values = list(values)
+    if not values:
+        return 0.0
+    eps = 1e-12
+    log_sum = sum(math.log(max(v, eps)) for v in values)
+    return math.exp(log_sum / len(values))
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Divide every value by ``reference`` (used for 'normalized to Radix' plots)."""
+    if reference == 0.0:
+        raise ValueError("cannot normalize to a zero reference")
+    return [v / reference for v in values]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Counter:
+    """A named bundle of integer event counters.
+
+    Every hardware and OS model owns one of these; the analysis layer merges
+    them into figure data.  Unknown counters read as zero, so models can add
+    counters lazily.
+    """
+
+    def __init__(self) -> None:
+        self._counts: _Counter = _Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "Counter") -> None:
+        """Add all of ``other``'s counts into this counter."""
+        self._counts.update(other._counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"Counter({dict(self._counts)!r})"
+
+
+@dataclass
+class RunningStats:
+    """Streaming mean/variance/min/max without storing samples."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running statistics (Welford update)."""
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Combine another RunningStats into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        combined = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / combined
+        self.mean = (self.mean * self.count + other.mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class Histogram:
+    """Fixed-bucket histogram keyed by arbitrary hashable labels."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[object, int] = {}
+
+    def add(self, bucket: object, amount: int = 1) -> None:
+        """Add ``amount`` observations to ``bucket``."""
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + amount
+
+    def get(self, bucket: object) -> int:
+        """Count in ``bucket`` (zero if empty)."""
+        return self._buckets.get(bucket, 0)
+
+    def as_dict(self) -> Dict[object, int]:
+        """Snapshot of the histogram."""
+        return dict(self._buckets)
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return sum(self._buckets.values())
+
+
+@dataclass
+class LatencyDistribution:
+    """A recorded set of latency samples with the summaries the paper plots.
+
+    The page-fault latency figures (Figs. 2, 9, 16) need medians, quartiles,
+    tails and the share of total latency contributed by outliers, so samples
+    are retained (bounded by ``max_samples`` with reservoir-free truncation;
+    simulations produce at most a few hundred thousand faults).
+    """
+
+    max_samples: int = 1_000_000
+    samples: List[float] = field(default_factory=list)
+    stats: RunningStats = field(default_factory=RunningStats)
+
+    def add(self, value: float) -> None:
+        """Record one latency sample."""
+        self.stats.add(value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency."""
+        return self.stats.mean
+
+    @property
+    def total(self) -> float:
+        """Sum of all latencies (the 'total PF latency' metric of Fig. 15/16)."""
+        return self.stats.total
+
+    def percentile(self, fraction: float) -> float:
+        """Percentile over the retained samples."""
+        return percentile(self.samples, fraction)
+
+    @property
+    def median(self) -> float:
+        """Median latency."""
+        return self.percentile(0.5)
+
+    def tail_contribution(self, threshold: float) -> float:
+        """Fraction of total latency contributed by samples above ``threshold``.
+
+        This is the 'contribution of outliers to total minor page fault
+        latency' metric of Fig. 2.
+        """
+        if not self.samples or self.stats.total == 0.0:
+            return 0.0
+        outlier_total = sum(s for s in self.samples if s > threshold)
+        return outlier_total / self.stats.total
+
+    def summary(self) -> Dict[str, float]:
+        """Digest used by the benchmark reports."""
+        if not self.samples:
+            return {"count": 0, "mean": 0.0, "median": 0.0, "p25": 0.0, "p75": 0.0,
+                    "p99": 0.0, "max": 0.0, "total": 0.0}
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "median": self.median,
+            "p25": self.percentile(0.25),
+            "p75": self.percentile(0.75),
+            "p99": self.percentile(0.99),
+            "max": self.stats.maximum,
+            "total": self.total,
+        }
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per kilo-instruction; zero when no instructions executed."""
+    if instructions <= 0:
+        return 0.0
+    return misses * 1000.0 / instructions
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` with an explicit default for zero denominators."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

@@ -1,0 +1,140 @@
+"""The two communication channels between the simulator and MimicOS.
+
+In the original artifact the simulator and MimicOS are separate processes
+talking over POSIX shared memory (the *functional channel*) and a
+dynamically instrumented instruction feed (the *instruction-stream channel*),
+synchronised with magic instructions.  In this reproduction both sides live
+in one Python process, but the channels are kept as explicit objects: every
+page fault really is turned into a request message, handled by MimicOS, and
+answered with a response plus an injected instruction stream.  This keeps
+the methodology observable (the channel statistics are what Fig. 11/12's
+overhead analysis is based on) and lets tests exercise the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.common.stats import Counter
+from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+
+
+@dataclass
+class PageFaultRequest:
+    """Functional-channel message: the MMU asks the kernel to handle a fault."""
+
+    pid: int
+    virtual_address: int
+    is_write: bool = False
+    sequence: int = 0
+
+
+@dataclass
+class PageFaultResponse:
+    """Functional-channel message: the kernel's reply."""
+
+    sequence: int
+    handled: bool
+    physical_base: int = 0
+    page_size: int = 4096
+    is_major: bool = False
+    disk_latency_cycles: int = 0
+    #: Signal to the simulator to restart the page-table walk.
+    restart_walk: bool = True
+
+
+@dataclass
+class MmapRequest:
+    """Functional-channel message for an mmap system call."""
+
+    pid: int
+    size: int
+    kind: str = "anonymous"
+    sequence: int = 0
+
+
+class FunctionalChannel:
+    """The shared-memory mailbox carrying functional requests and responses."""
+
+    def __init__(self):
+        self._requests: Deque[object] = deque()
+        self._responses: Dict[int, object] = {}
+        self._sequence = 0
+        self.counters = Counter()
+
+    def send_request(self, request) -> int:
+        """Post a request; returns its sequence number."""
+        self._sequence += 1
+        request.sequence = self._sequence
+        self._requests.append(request)
+        self.counters.add("requests")
+        return self._sequence
+
+    def receive_request(self):
+        """Kernel side: pop the next pending request (None if empty)."""
+        if not self._requests:
+            return None
+        return self._requests.popleft()
+
+    def send_response(self, response) -> None:
+        """Kernel side: post the response for a previously received request."""
+        self._responses[response.sequence] = response
+        self.counters.add("responses")
+
+    def receive_response(self, sequence: int):
+        """Simulator side: collect the response for ``sequence`` (None if pending)."""
+        return self._responses.pop(sequence, None)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests posted but not yet consumed by the kernel."""
+        return len(self._requests)
+
+    def stats(self) -> Dict[str, int]:
+        """Message counts."""
+        return self.counters.as_dict()
+
+
+class InstructionStreamChannel:
+    """The channel carrying MimicOS's instrumented instruction stream.
+
+    The producer (the instrumentation tool) pushes kernel instruction
+    streams; the consumer (the simulator's core model) drains them.  A magic
+    instruction is appended to every stream so the consumer knows when to
+    switch back to the application stream, mirroring §4.2's execution flow.
+    """
+
+    def __init__(self):
+        self._streams: Deque[InstructionStream] = deque()
+        self.counters = Counter()
+
+    def push(self, stream: InstructionStream) -> None:
+        """Producer side: enqueue a kernel instruction stream."""
+        terminated = InstructionStream(name=stream.name)
+        terminated.extend(stream.instructions)
+        terminated.append(Instruction(kind=InstructionKind.MAGIC, is_kernel=True))
+        self._streams.append(terminated)
+        self.counters.add("streams")
+        self.counters.add("instructions", len(stream))
+
+    def pop(self) -> Optional[InstructionStream]:
+        """Consumer side: dequeue the next stream (None if empty)."""
+        if not self._streams:
+            return None
+        return self._streams.popleft()
+
+    @property
+    def pending_streams(self) -> int:
+        """Streams waiting to be consumed."""
+        return len(self._streams)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total kernel instructions ever pushed (excluding magic terminators)."""
+        return self.counters.get("instructions")
+
+    def stats(self) -> Dict[str, int]:
+        """Message counts."""
+        return self.counters.as_dict()

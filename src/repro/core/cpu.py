@@ -1,0 +1,179 @@
+"""The core performance model (Sniper-like interval approximation).
+
+The core model is deliberately simple — the paper's contribution is the OS
+methodology, not a new out-of-order model — but it captures the effects the
+experiments measure:
+
+* every instruction pays a base CPI;
+* a memory instruction additionally pays its translation latency (TLB,
+  walks, page faults are serialising) and the part of its data latency the
+  out-of-order window cannot hide (an MLP discount applied to off-chip
+  latency);
+* injected MimicOS instructions execute on the same core and access memory
+  through the same hierarchy, so kernel work both consumes cycles and
+  pollutes the caches / DRAM row buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config import CoreConfig
+from repro.common.stats import Counter
+from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.memhier.memory_system import MemoryAccessType, MemoryHierarchy, MemoryRequest
+from repro.mmu.mmu import MMU
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Cycle breakdown accumulated while executing instructions."""
+
+    base_cycles: float = 0.0
+    translation_cycles: float = 0.0
+    fault_cycles: float = 0.0
+    data_stall_cycles: float = 0.0
+    kernel_cycles: float = 0.0
+
+
+class CoreModel:
+    """A single simulated core executing application and kernel streams."""
+
+    def __init__(self, config: CoreConfig, mmu: MMU, memory: MemoryHierarchy):
+        self.config = config
+        self.mmu = mmu
+        self.memory = memory
+        self.cycles: float = 0.0
+        self.instructions: int = 0
+        self.kernel_instructions: int = 0
+        self.breakdown = ExecutionBreakdown()
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Application execution
+    # ------------------------------------------------------------------ #
+    def execute(self, instruction: Instruction) -> float:
+        """Execute one application instruction; returns the cycles it consumed."""
+        consumed = self.config.base_cpi
+        self.breakdown.base_cycles += consumed
+        self.instructions += 1
+        self.counters.add("app_instructions")
+
+        if instruction.is_memory and instruction.memory_address is not None:
+            outcome = self.mmu.access_data(instruction.memory_address,
+                                           instruction.is_write, instruction.pc)
+            translation = outcome.translation
+            # Translation is on the critical path; the first cycle overlaps issue.
+            translation_penalty = max(0, translation.latency - translation.fault_latency - 1)
+            fault_penalty = translation.fault_latency
+            data_penalty = self._data_penalty(outcome.data_latency, outcome.served_by)
+
+            consumed += translation_penalty + fault_penalty + data_penalty
+            self.breakdown.translation_cycles += translation_penalty
+            self.breakdown.fault_cycles += fault_penalty
+            self.breakdown.data_stall_cycles += data_penalty
+            self.counters.add("memory_instructions")
+            if translation.page_fault:
+                self.counters.add("page_fault_instructions")
+
+        self.cycles += consumed
+        return consumed
+
+    def _data_penalty(self, data_latency: int, served_by: str) -> float:
+        """The part of the data-access latency the OoO window cannot hide."""
+        if served_by in ("L1", "none"):
+            return 0.0
+        hidden_fraction = self.config.mlp_factor
+        exposed = max(0, data_latency - 4)
+        return exposed * (1.0 - hidden_fraction)
+
+    def execute_stream(self, stream: InstructionStream) -> float:
+        """Execute a whole application stream; returns cycles consumed."""
+        start = self.cycles
+        for instruction in stream:
+            self.execute(instruction)
+        return self.cycles - start
+
+    # ------------------------------------------------------------------ #
+    # Kernel (MimicOS) execution
+    # ------------------------------------------------------------------ #
+    def execute_kernel_stream(self, stream: InstructionStream) -> float:
+        """Execute an injected MimicOS instruction stream.
+
+        Kernel instructions bypass the application's page table (the kernel
+        runs out of the direct map) but share the caches and DRAM, so their
+        memory accesses are issued straight into the memory hierarchy with
+        the ``KERNEL`` request type.
+
+        The cycles the stream consumed are *returned* but not added to the
+        core's cycle count here: the MMU reports them back as the fault
+        latency of the triggering access, and :meth:`execute` charges them
+        exactly once on the faulting instruction's critical path.
+        """
+        consumed_total = 0.0
+        for instruction in stream:
+            if instruction.kind == InstructionKind.MAGIC:
+                self.counters.add("magic_instructions")
+                continue
+            if instruction.repeat > 1:
+                # Bulk (rep-prefixed) operation: one cycle per repetition.
+                consumed = float(instruction.repeat)
+            else:
+                consumed = self.config.base_cpi
+            if instruction.is_memory and instruction.memory_address is not None:
+                access_type = (MemoryAccessType.KERNEL_ZERO
+                               if instruction.is_write else MemoryAccessType.KERNEL)
+                outcome = self.memory.access(MemoryRequest(instruction.memory_address,
+                                                           instruction.is_write,
+                                                           access_type, instruction.pc))
+                if access_type is not MemoryAccessType.KERNEL_ZERO:
+                    consumed += self._data_penalty(outcome.latency, outcome.served_by)
+                # Page-zeroing stores stream through the write-combining path:
+                # their cost is carried by the rep-counted zeroing instruction,
+                # while the accesses above still pollute the caches and DRAM
+                # row buffers (the interference the methodology models).
+            consumed_total += consumed
+            self.kernel_instructions += 1
+            self.breakdown.kernel_cycles += consumed
+            self.counters.add("kernel_instructions")
+        return consumed_total
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def ipc(self) -> float:
+        """Application instructions per cycle (kernel instructions excluded)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def total_instructions(self) -> int:
+        """Application plus kernel instructions executed."""
+        return self.instructions + self.kernel_instructions
+
+    def kernel_instruction_fraction(self) -> float:
+        """Fraction of all executed instructions that came from MimicOS."""
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        return self.kernel_instructions / total
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus the cycle breakdown."""
+        return {
+            "counters": self.counters.as_dict(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "kernel_instructions": self.kernel_instructions,
+            "ipc": self.ipc,
+            "breakdown": {
+                "base": self.breakdown.base_cycles,
+                "translation": self.breakdown.translation_cycles,
+                "fault": self.breakdown.fault_cycles,
+                "data_stall": self.breakdown.data_stall_cycles,
+                "kernel": self.breakdown.kernel_cycles,
+            },
+        }

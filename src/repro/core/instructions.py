@@ -1,0 +1,79 @@
+"""Instruction representation shared by workload traces and kernel streams.
+
+The simulator is trace-driven: both the application frontends and the
+instrumentation tool produce sequences of :class:`Instruction` records.  An
+instruction is deliberately minimal — a kind, an optional memory operand and
+the PC — because the core model only needs enough to charge issue slots and
+memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional
+
+
+class InstructionKind(str, Enum):
+    """Coarse instruction classes the core model distinguishes."""
+
+    ALU = "alu"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+    #: Magic/synchronisation instruction (e.g. the xchg-based signal Sniper
+    #: uses); zero architectural work, used to switch instruction streams.
+    MAGIC = "magic"
+
+
+@dataclass
+class Instruction:
+    """One dynamic instruction."""
+
+    kind: InstructionKind
+    pc: int = 0
+    #: Virtual address for application instructions; physical (kernel-space)
+    #: address for injected MimicOS instructions.
+    memory_address: Optional[int] = None
+    is_kernel: bool = False
+    #: Repeat count for string/bulk operations (``rep stos``-style page
+    #: zeroing): the core charges one cycle per repetition but the stream
+    #: stays compact.
+    repeat: int = 1
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.kind in (InstructionKind.LOAD, InstructionKind.STORE)
+
+    @property
+    def is_write(self) -> bool:
+        """True for stores."""
+        return self.kind == InstructionKind.STORE
+
+
+@dataclass
+class InstructionStream:
+    """An ordered sequence of instructions with a few convenience accessors."""
+
+    name: str = "stream"
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        """Add one instruction to the stream."""
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Add many instructions."""
+        self.instructions.extend(instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def memory_instructions(self) -> int:
+        """Number of loads and stores in the stream."""
+        return sum(1 for instruction in self.instructions if instruction.is_memory)

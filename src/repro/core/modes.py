@@ -1,0 +1,285 @@
+"""OS-coupling modes: imitation (Virtuoso), emulation, full-system, reference.
+
+The coupling is the piece of Virtuoso that owns the protocol of §4.2: it
+receives page-fault events from the MMU, drives MimicOS through the
+functional channel, turns the resulting kernel trace into an instruction
+stream (imitation/full-system modes), has the core model execute it, and
+reports the resulting latency back to the MMU.
+
+Four modes are provided:
+
+* :class:`ImitationCoupling` — the paper's contribution.
+* :class:`EmulationCoupling` — the fixed-latency baseline (how Sniper and
+  ChampSim model VM out of the box).  MimicOS is still consulted so the
+  functional state stays correct, but no instruction stream is injected and
+  a constant latency is charged.
+* :class:`FullSystemCoupling` — a gem5-FS stand-in: the same protocol as
+  imitation but with the *whole* kernel simulated (larger instruction
+  streams plus background kernel activity), used by the overhead studies.
+* :class:`ReferenceCoupling` — the stand-in for the real validation machine:
+  imitation plus the OS background noise and latency variance a real system
+  exhibits (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Counter, LatencyDistribution
+from repro.core.channels import (
+    FunctionalChannel,
+    InstructionStreamChannel,
+    PageFaultRequest,
+    PageFaultResponse,
+)
+from repro.core.cpu import CoreModel
+from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instrumentation import InstrumentationTool
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.ops import KernelRoutineTrace
+from repro.pagetables.base import PageTableBase, WalkResult
+
+
+class FixedLatencyPageTable(PageTableBase):
+    """Decorator giving any page table a fixed hardware-walk latency.
+
+    Used by the emulation baseline: walks cost a constant number of cycles
+    and issue no memory traffic (exactly what a fixed-PTW-latency simulator
+    models), while all software-visible behaviour is delegated to the real
+    structure so the functional state remains correct.
+    """
+
+    kind = "fixed_latency"
+
+    def __init__(self, inner: PageTableBase, fixed_latency: int):
+        super().__init__(frame_allocator=inner.frame_allocator)
+        self.inner = inner
+        self.fixed_latency = fixed_latency
+        self.overrides_allocation = inner.overrides_allocation
+        self.replaces_tlbs = False
+
+    # Software interface delegates wholesale.
+    def insert(self, virtual_address, physical_address, page_size, trace=None):
+        self.inner.insert(virtual_address, physical_address, page_size, trace)
+
+    def remove(self, virtual_address, trace=None):
+        return self.inner.remove(virtual_address, trace)
+
+    def lookup(self, virtual_address):
+        return self.inner.lookup(virtual_address)
+
+    def translate_functional(self, virtual_address):
+        return self.inner.translate_functional(virtual_address)
+
+    def mapped_pages(self):
+        return self.inner.mapped_pages()
+
+    def allocate_for_fault(self, pid, virtual_address, vma, buddy, trace=None):
+        return self.inner.allocate_for_fault(pid, virtual_address, vma, buddy, trace)
+
+    def walk(self, virtual_address, memory) -> WalkResult:
+        self.counters.add("walks")
+        mapping = self.inner.lookup(virtual_address)
+        if mapping is None:
+            self.counters.add("walk_faults")
+            return WalkResult(found=False, latency=self.fixed_latency, memory_accesses=0)
+        physical_base, page_size = mapping
+        self.counters.add("walk_hits")
+        return WalkResult(found=True, latency=self.fixed_latency, memory_accesses=0,
+                          physical_base=physical_base, page_size=page_size,
+                          backend_latency=self.fixed_latency)
+
+    def _insert_structure(self, virtual_base, physical_base, page_size, trace):
+        raise AssertionError("delegating wrapper never builds its own structure")
+
+    def stats(self):
+        merged = dict(self.inner.stats())
+        merged.update(self.counters.as_dict())
+        return merged
+
+
+class OSCoupling:
+    """Base class of the simulator <-> MimicOS couplings."""
+
+    name = "base"
+
+    def __init__(self, kernel: MimicOS, core: CoreModel,
+                 simulation_config: SimulationConfig):
+        self.kernel = kernel
+        self.core = core
+        self.simulation_config = simulation_config
+        self.functional_channel = FunctionalChannel()
+        self.instruction_channel = InstructionStreamChannel()
+        self.counters = Counter()
+        #: Per-fault latency in cycles (the Fig. 2 / 9 / 16 distributions).
+        self.fault_latency = LatencyDistribution()
+
+    def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
+        """MMU fault callback: returns (latency in cycles, handled)."""
+        raise NotImplementedError
+
+    def _dispatch_to_kernel(self, pid: int, virtual_address: int):
+        """Run the functional-channel protocol and return the kernel's result."""
+        request = PageFaultRequest(pid=pid, virtual_address=virtual_address)
+        sequence = self.functional_channel.send_request(request)
+        received = self.functional_channel.receive_request()
+        assert received is request, "functional channel delivered the wrong request"
+        result = self.kernel.handle_page_fault(pid, virtual_address,
+                                               now_cycles=int(self.core.cycles))
+        response = PageFaultResponse(sequence=sequence, handled=not result.segfault,
+                                     physical_base=result.physical_base,
+                                     page_size=result.page_size,
+                                     is_major=result.is_major,
+                                     disk_latency_cycles=result.disk_latency_cycles)
+        self.functional_channel.send_response(response)
+        answer = self.functional_channel.receive_response(sequence)
+        assert answer is response
+        return result
+
+    def kernel_instructions_injected(self) -> int:
+        """Total MimicOS instructions streamed into the core model."""
+        return self.instruction_channel.total_instructions
+
+    def stats(self) -> Dict[str, object]:
+        """Coupling-level statistics."""
+        return {
+            "counters": self.counters.as_dict(),
+            "functional_channel": self.functional_channel.stats(),
+            "instruction_channel": self.instruction_channel.stats(),
+            "fault_latency": self.fault_latency.summary(),
+        }
+
+
+class ImitationCoupling(OSCoupling):
+    """Virtuoso's imitation-based coupling: inject the handler's instructions."""
+
+    name = "imitation"
+
+    def __init__(self, kernel: MimicOS, core: CoreModel,
+                 simulation_config: SimulationConfig,
+                 instrumentation: Optional[InstrumentationTool] = None):
+        super().__init__(kernel, core, simulation_config)
+        self.instrumentation = instrumentation or InstrumentationTool(
+            mode=simulation_config.instrumentation)
+
+    def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
+        self.counters.add("page_faults")
+        result = self._dispatch_to_kernel(pid, virtual_address)
+        stream = self.instrumentation.expand(result.trace)
+        self.instruction_channel.push(stream)
+        injected = self.instruction_channel.pop()
+        execution_cycles = self.core.execute_kernel_stream(injected)
+        latency = int(execution_cycles) + result.disk_latency_cycles
+        latency = self._post_process_latency(latency, result)
+        self.fault_latency.add(latency)
+        self.kernel.fault_latency.add(latency)
+        if result.is_major:
+            self.counters.add("major_faults")
+        return latency, not result.segfault
+
+    def _post_process_latency(self, latency: int, result) -> int:
+        """Hook for subclasses (the reference coupling adds measured noise)."""
+        return latency
+
+
+class EmulationCoupling(OSCoupling):
+    """Fixed-latency baseline: functional OS, constant page-fault cost."""
+
+    name = "emulation"
+
+    def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
+        self.counters.add("page_faults")
+        result = self._dispatch_to_kernel(pid, virtual_address)
+        latency = self.simulation_config.fixed_page_fault_latency + result.disk_latency_cycles
+        self.fault_latency.add(latency)
+        self.kernel.fault_latency.add(latency)
+        return latency, not result.segfault
+
+
+class FullSystemCoupling(ImitationCoupling):
+    """Full-kernel stand-in: imitation plus the rest of the OS.
+
+    Models what a full-system simulator pays: every handled event executes a
+    larger slice of kernel code (``full_system_factor``), and unrelated
+    background kernel activity (scheduler ticks, RCU callbacks, timers) is
+    injected periodically.
+    """
+
+    name = "full_system"
+
+    #: Extra kernel code executed relative to the targeted MimicOS modules.
+    FULL_SYSTEM_FACTOR = 2.4
+    #: One background-activity burst is injected every this many faults.
+    BACKGROUND_INTERVAL = 8
+    #: Instructions per background burst.
+    BACKGROUND_INSTRUCTIONS = 600
+
+    def __init__(self, kernel: MimicOS, core: CoreModel,
+                 simulation_config: SimulationConfig):
+        super().__init__(kernel, core, simulation_config,
+                         instrumentation=InstrumentationTool(
+                             mode=simulation_config.instrumentation,
+                             full_system_factor=self.FULL_SYSTEM_FACTOR))
+        self._faults_since_background = 0
+
+    def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
+        latency, handled = super().handle_page_fault(pid, virtual_address)
+        self._faults_since_background += 1
+        if self._faults_since_background >= self.BACKGROUND_INTERVAL:
+            self._faults_since_background = 0
+            latency += int(self.core.execute_kernel_stream(self._background_stream()))
+            self.counters.add("background_bursts")
+        return latency, handled
+
+    def _background_stream(self) -> InstructionStream:
+        trace = KernelRoutineTrace(routine="kernel_background")
+        op = trace.new_op("scheduler_tick", work_units=self.BACKGROUND_INSTRUCTIONS // 4)
+        for index in range(16):
+            op.touch(0xFFFF_9000_0000_0000 + index * 256, is_write=index % 4 == 0)
+        return self.instrumentation.expand(trace)
+
+
+class ReferenceCoupling(ImitationCoupling):
+    """Stand-in for the real validation machine (see DESIGN.md §2).
+
+    Behaves like the imitation coupling but adds the effects a real kernel
+    and real hardware exhibit on top of the modelled fault path: background
+    OS activity interleaved with the application and a heavy-tailed latency
+    perturbation of each fault (interrupt/lock/NUMA jitter).  Virtuoso is
+    validated by how closely its estimates track this configuration.
+    """
+
+    name = "reference"
+
+    NOISE_SIGMA = 0.35
+    TAIL_PROBABILITY = 0.03
+    TAIL_FACTOR = 12.0
+
+    def __init__(self, kernel: MimicOS, core: CoreModel,
+                 simulation_config: SimulationConfig, seed: int = 97):
+        super().__init__(kernel, core, simulation_config)
+        self.rng = DeterministicRNG(seed)
+
+    def _post_process_latency(self, latency: int, result) -> int:
+        noise = self.rng.lognormvariate(0.0, self.NOISE_SIGMA)
+        perturbed = latency * noise
+        if self.rng.random() < self.TAIL_PROBABILITY:
+            perturbed *= self.TAIL_FACTOR
+        return max(1, int(perturbed))
+
+
+def build_coupling(simulation_config: SimulationConfig, kernel: MimicOS,
+                   core: CoreModel) -> OSCoupling:
+    """Factory mapping ``SimulationConfig.os_mode`` to a coupling instance."""
+    mode = simulation_config.os_mode
+    if mode == "imitation":
+        return ImitationCoupling(kernel, core, simulation_config)
+    if mode == "emulation":
+        return EmulationCoupling(kernel, core, simulation_config)
+    if mode == "full_system":
+        return FullSystemCoupling(kernel, core, simulation_config)
+    if mode == "reference":
+        return ReferenceCoupling(kernel, core, simulation_config)
+    raise ValueError(f"unknown OS coupling mode: {mode!r}")

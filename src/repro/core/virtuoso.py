@@ -1,0 +1,206 @@
+"""The Virtuoso orchestrator: build a system, run a workload, report results.
+
+``Virtuoso`` assembles every model described by a
+:class:`~repro.common.config.SystemConfig` — the memory hierarchy, the TLB
+hierarchy and MMU, MimicOS, the SSD, the OS coupling for the chosen mode —
+wires the page-fault path together, and exposes a small API the examples and
+benchmarks use:
+
+* :meth:`create_process` / :meth:`map_workload` — set up an address space;
+* :meth:`prefault` — touch pages functionally before the measured region
+  (the paper's page-cache-warming methodology);
+* :meth:`run` — execute a workload trace on the core model and return a
+  :class:`~repro.core.report.SimulationReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Counter
+from repro.core.cpu import CoreModel
+from repro.core.instructions import Instruction, InstructionStream
+from repro.core.modes import FixedLatencyPageTable, OSCoupling, build_coupling
+from repro.core.report import SimulationReport
+from repro.memhier.memory_system import MemoryHierarchy
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mmu.extensions import MMUExtensions
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import TLBHierarchy
+from repro.storage.ssd import SSDModel
+
+
+class Virtuoso:
+    """One fully assembled simulated system."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0,
+                 mmu_extensions: Optional[MMUExtensions] = None):
+        self.config = config
+        self.rng = DeterministicRNG(seed)
+        self.counters = Counter()
+
+        # Hardware models.
+        self.memory = MemoryHierarchy.from_system_config(config)
+        self.tlbs = TLBHierarchy(config.l1i_tlb, config.l1d_tlb_4k,
+                                 config.l1d_tlb_2m, config.l2_tlb)
+        self.mmu = MMU(self.tlbs, self.memory, mmu_extensions)
+
+        # Storage and the OS.
+        self.ssd = SSDModel(config.ssd, config.core.frequency_ghz)
+        self.kernel = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
+                              rng=self.rng.fork(3))
+
+        # Core model and the OS coupling.
+        self.core = CoreModel(config.core, self.mmu, self.memory)
+        self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel, self.core)
+        self.mmu.set_fault_callback(self.coupling.handle_page_fault)
+
+        if config.mimicos.fragmentation_target < 1.0:
+            self.kernel.fragment_memory()
+
+    # ------------------------------------------------------------------ #
+    # Address-space setup
+    # ------------------------------------------------------------------ #
+    def create_process(self, name: str = "") -> Process:
+        """Create a process and point the MMU at its address space."""
+        process = self.kernel.create_process(name)
+        page_table = process.page_table
+        if self.config.simulation.os_mode == "emulation" and not page_table.replaces_tlbs:
+            page_table = FixedLatencyPageTable(page_table,
+                                               self.config.simulation.fixed_ptw_latency)
+            self._emulation_wrappers = getattr(self, "_emulation_wrappers", {})
+            self._emulation_wrappers[process.pid] = page_table
+        self.mmu.set_context(process.pid, page_table)
+        return process
+
+    def activate_process(self, process: Process) -> None:
+        """Switch the MMU to ``process`` (flushing the TLBs, as on a context switch)."""
+        page_table = process.page_table
+        wrappers = getattr(self, "_emulation_wrappers", {})
+        page_table = wrappers.get(process.pid, page_table)
+        self.mmu.set_context(process.pid, page_table, flush_tlbs=True)
+
+    def map_workload(self, workload, process: Optional[Process] = None) -> Process:
+        """Create (if needed) a process and let the workload build its VMAs."""
+        if process is None:
+            process = self.create_process(workload.name)
+        workload.setup(self.kernel, process)
+        return process
+
+    # ------------------------------------------------------------------ #
+    # Pre-faulting (warm-up)
+    # ------------------------------------------------------------------ #
+    def prefault(self, process: Process, addresses: Iterable[int]) -> int:
+        """Install translations for ``addresses`` without charging simulation time.
+
+        Mirrors the paper's methodology of warming the page cache / address
+        space before the measured region so experiments that study address
+        translation are not dominated by cold faults.  Returns the number of
+        faults taken.
+        """
+        faults = 0
+        for address in addresses:
+            if process.page_table.lookup(address) is None:
+                result = self.kernel.handle_page_fault(process.pid, address)
+                if result.segfault:
+                    raise RuntimeError(f"prefault segfaulted at {address:#x}")
+                faults += 1
+        self.counters.add("prefaulted_pages", faults)
+        return faults
+
+    # ------------------------------------------------------------------ #
+    # Main run loop
+    # ------------------------------------------------------------------ #
+    def run(self, workload, process: Optional[Process] = None,
+            max_instructions: Optional[int] = None,
+            setup: bool = True) -> SimulationReport:
+        """Simulate ``workload`` and return the collected report."""
+        if process is None:
+            process = self.create_process(workload.name)
+        if setup:
+            workload.setup(self.kernel, process)
+        if getattr(workload, "prefault", False):
+            self.prefault(process, workload.prefault_addresses(process))
+        self.activate_process(process)
+
+        limit = max_instructions or self.config.simulation.max_instructions
+        start_wall = time.perf_counter()
+        executed = 0
+        for instruction in workload.instructions(process):
+            self.core.execute(instruction)
+            executed += 1
+            if limit is not None and executed >= limit:
+                break
+        host_seconds = time.perf_counter() - start_wall
+        self.counters.add("workloads_run")
+        return self._build_report(workload, host_seconds)
+
+    def run_stream(self, process: Process, stream: InstructionStream,
+                   workload_name: str = "stream") -> SimulationReport:
+        """Simulate a pre-built instruction stream (used by the unit benchmarks)."""
+        self.activate_process(process)
+        start_wall = time.perf_counter()
+        self.core.execute_stream(stream)
+        host_seconds = time.perf_counter() - start_wall
+        return self._build_report_named(workload_name, host_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Report assembly
+    # ------------------------------------------------------------------ #
+    def _build_report(self, workload, host_seconds: float) -> SimulationReport:
+        return self._build_report_named(getattr(workload, "name", str(workload)), host_seconds)
+
+    def _build_report_named(self, workload_name: str, host_seconds: float) -> SimulationReport:
+        mmu_counters = self.mmu.counters.as_dict()
+        dram = self.memory.dram
+        page_table = self.mmu.page_table
+
+        frontend = 0
+        backend = 0
+        if page_table is not None and hasattr(page_table, "latency_breakdown"):
+            breakdown = page_table.latency_breakdown()
+            frontend = breakdown.get("frontend", 0)
+            backend = breakdown.get("backend", 0)
+
+        report = SimulationReport(
+            workload=workload_name,
+            config_name=self.config.name,
+            os_mode=self.config.simulation.os_mode,
+            instructions=self.core.instructions,
+            kernel_instructions=self.core.kernel_instructions,
+            cycles=self.core.cycles,
+            ipc=self.core.ipc,
+            l2_tlb_misses=self.tlbs.l2_misses(),
+            page_walks=mmu_counters.get("page_walks", 0),
+            average_ptw_latency=self.mmu.average_ptw_latency(),
+            total_ptw_latency=self.mmu.total_ptw_latency(),
+            total_translation_latency=self.mmu.total_translation_latency(),
+            frontend_translation_cycles=frontend,
+            backend_translation_cycles=backend,
+            page_faults=mmu_counters.get("page_faults", 0),
+            major_faults=self.coupling.counters.get("major_faults"),
+            fault_latency=self.coupling.fault_latency,
+            total_fault_latency=self.coupling.fault_latency.total,
+            swapped_pages=self.kernel.swap.counters.get("swap_outs"),
+            swap_cycles=self.kernel.swap.swap_cycles,
+            dram_accesses=dram.counters.get("accesses"),
+            dram_row_conflicts=dram.counters.get("row_conflicts"),
+            dram_row_conflicts_translation=dram.translation_row_conflicts(),
+            llc_misses=self.memory.l3.misses(),
+            translation_stall_cycles=self.core.breakdown.translation_cycles,
+            fault_stall_cycles=self.core.breakdown.fault_cycles,
+            data_stall_cycles=self.core.breakdown.data_stall_cycles,
+            host_seconds=host_seconds,
+        )
+        report.details = {
+            "mmu": self.mmu.stats(),
+            "core": self.core.stats(),
+            "kernel": self.kernel.stats(),
+            "coupling": self.coupling.stats(),
+            "memory": self.memory.stats(),
+        }
+        return report

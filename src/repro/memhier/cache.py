@@ -1,0 +1,208 @@
+"""Set-associative cache model with LRU and SRRIP replacement.
+
+The cache is a tag store only: the simulator never stores data values, it
+only needs hit/miss behaviour and latency.  Each cache level tracks hits,
+misses, evictions and fills per request type (application data, page-table
+walk, kernel/MimicOS data), which the experiments use to quantify the cache
+pollution caused by OS routines and page-table accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.stats import Counter
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a single cache lookup."""
+
+    hit: bool
+    latency: int
+    evicted_tag: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class _CacheLine:
+    """One cache line's bookkeeping (tag, dirty bit, replacement state)."""
+
+    __slots__ = ("tag", "valid", "dirty", "lru_stamp", "rrpv", "request_type")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.lru_stamp = 0
+        self.rrpv = 3
+        self.request_type = "data"
+
+
+class Cache:
+    """A single set-associative cache level.
+
+    Parameters come from :class:`repro.common.config.CacheConfig`.  The
+    replacement policy is either true LRU or SRRIP (re-reference interval
+    prediction, the paper's L2/L3 policy).
+    """
+
+    SRRIP_MAX_RRPV = 3
+    SRRIP_INSERT_RRPV = 2
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.name = config.name
+        self.latency = config.latency
+        self.line_size = config.line_size
+        self.num_sets = config.sets
+        self.associativity = config.associativity
+        self.replacement = config.replacement
+        self._sets: List[List[_CacheLine]] = [
+            [_CacheLine() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+        self._access_clock = 0
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def _index_and_tag(self, address: int) -> Tuple[int, int]:
+        block = address // self.line_size
+        return block % self.num_sets, block // self.num_sets
+
+    # ------------------------------------------------------------------ #
+    # Main access path
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, is_write: bool = False,
+               request_type: str = "data") -> CacheAccessResult:
+        """Look up ``address``; on a miss the line is filled (allocate-on-miss).
+
+        Returns the access latency of *this level only*; the memory hierarchy
+        adds the next level's latency on a miss.
+        """
+        self._access_clock += 1
+        set_index, tag = self._index_and_tag(address)
+        lines = self._sets[set_index]
+
+        self.counters.add(f"accesses_{request_type}")
+        for line in lines:
+            if line.valid and line.tag == tag:
+                self.counters.add(f"hits_{request_type}")
+                line.lru_stamp = self._access_clock
+                line.rrpv = 0
+                if is_write:
+                    line.dirty = True
+                return CacheAccessResult(hit=True, latency=self.latency)
+
+        self.counters.add(f"misses_{request_type}")
+        evicted_tag, evicted_dirty = self._fill(set_index, tag, is_write, request_type)
+        return CacheAccessResult(hit=False, latency=self.latency,
+                                 evicted_tag=evicted_tag, evicted_dirty=evicted_dirty)
+
+    def probe(self, address: int) -> bool:
+        """Return True if ``address`` is present without disturbing state."""
+        set_index, tag = self._index_and_tag(address)
+        return any(line.valid and line.tag == tag for line in self._sets[set_index])
+
+    def fill(self, address: int, request_type: str = "prefetch") -> None:
+        """Insert a line without counting it as a demand access (prefetch fill)."""
+        set_index, tag = self._index_and_tag(address)
+        if any(line.valid and line.tag == tag for line in self._sets[set_index]):
+            return
+        self.counters.add(f"fills_{request_type}")
+        self._fill(set_index, tag, is_write=False, request_type=request_type)
+
+    def invalidate(self, address: int) -> bool:
+        """Invalidate the line holding ``address``; returns True if it was present."""
+        set_index, tag = self._index_and_tag(address)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                line.valid = False
+                self.counters.add("invalidations")
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every line (used between simulation regions)."""
+        for lines in self._sets:
+            for line in lines:
+                line.valid = False
+                line.dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Replacement
+    # ------------------------------------------------------------------ #
+    def _fill(self, set_index: int, tag: int, is_write: bool,
+              request_type: str) -> Tuple[Optional[int], bool]:
+        lines = self._sets[set_index]
+        victim = self._choose_victim(lines)
+        evicted_tag: Optional[int] = None
+        evicted_dirty = False
+        if victim.valid:
+            evicted_tag = victim.tag * self.num_sets + set_index
+            evicted_dirty = victim.dirty
+            self.counters.add("evictions")
+            if victim.request_type != request_type:
+                # A fill from one request class displaced another class's data:
+                # this is the cache-pollution effect the paper highlights.
+                self.counters.add(f"pollution_evictions_by_{request_type}")
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write
+        victim.lru_stamp = self._access_clock
+        victim.rrpv = self.SRRIP_INSERT_RRPV
+        victim.request_type = request_type
+        return evicted_tag, evicted_dirty
+
+    def _choose_victim(self, lines: List[_CacheLine]) -> _CacheLine:
+        for line in lines:
+            if not line.valid:
+                return line
+        if self.replacement == "lru":
+            return min(lines, key=lambda line: line.lru_stamp)
+        # SRRIP: evict a line with the maximum re-reference interval,
+        # aging all lines until one is found.
+        while True:
+            for line in lines:
+                if line.rrpv >= self.SRRIP_MAX_RRPV:
+                    return line
+            for line in lines:
+                line.rrpv += 1
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def hits(self, request_type: Optional[str] = None) -> int:
+        """Total hits, optionally restricted to one request class."""
+        return self._sum_counter("hits", request_type)
+
+    def misses(self, request_type: Optional[str] = None) -> int:
+        """Total misses, optionally restricted to one request class."""
+        return self._sum_counter("misses", request_type)
+
+    def accesses(self, request_type: Optional[str] = None) -> int:
+        """Total demand accesses, optionally restricted to one request class."""
+        return self._sum_counter("accesses", request_type)
+
+    def miss_rate(self) -> float:
+        """Demand miss rate across all request classes."""
+        total = self.accesses()
+        if total == 0:
+            return 0.0
+        return self.misses() / total
+
+    def _sum_counter(self, prefix: str, request_type: Optional[str]) -> int:
+        counts = self.counters.as_dict()
+        if request_type is not None:
+            return counts.get(f"{prefix}_{request_type}", 0)
+        return sum(v for k, v in counts.items() if k.startswith(prefix + "_"))
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+    def __repr__(self) -> str:
+        return (f"Cache({self.name}, {self.config.size_bytes // 1024}KB, "
+                f"{self.associativity}-way, {self.replacement})")

@@ -1,0 +1,174 @@
+"""DRAM main-memory model with row-buffer state per bank.
+
+This is the Ramulator-inspired DRAM model the paper describes refactoring
+into Sniper.  The simulator does not need cycle-accurate command scheduling;
+the experiments (Figs. 14 and 21) need *row-buffer hit/miss/conflict*
+accounting that distinguishes which request class (application data,
+page-table entries, translation metadata, kernel data) caused each conflict,
+plus a latency that reflects open-page locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import DRAMConfig
+from repro.common.stats import Counter
+
+
+@dataclass
+class DRAMAccessResult:
+    """Outcome of a single DRAM access."""
+
+    latency: int
+    row_hit: bool
+    row_conflict: bool
+    channel: int
+    bank: int
+    row: int
+
+
+class _Bank:
+    """Row-buffer state of one DRAM bank."""
+
+    __slots__ = ("open_row", "open_row_owner")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.open_row_owner: str = "none"
+
+
+class DRAMModel:
+    """Main memory organised as channels x ranks x banks with open rows.
+
+    Address mapping interleaves cache lines across channels, then banks, so
+    sequential streams spread across banks while a page-table walk's pointer
+    chase tends to collide — the behaviour the case studies rely on.
+    """
+
+    LINE_SIZE = 64
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+        self.capacity = config.capacity_bytes
+        self.num_channels = config.channels
+        self.banks_per_channel = config.ranks_per_channel * config.banks_per_rank
+        self.row_size = config.row_size_bytes
+        self.page_policy = config.page_policy
+        self._banks: Dict[Tuple[int, int], _Bank] = {
+            (channel, bank): _Bank()
+            for channel in range(self.num_channels)
+            for bank in range(self.banks_per_channel)
+        }
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+    def map_address(self, address: int) -> Tuple[int, int, int]:
+        """Map a physical address to (channel, bank, row)."""
+        line = address // self.LINE_SIZE
+        channel = line % self.num_channels
+        line //= self.num_channels
+        bank = line % self.banks_per_channel
+        line //= self.banks_per_channel
+        row = line // (self.row_size // self.LINE_SIZE)
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, request_type: str = "data") -> DRAMAccessResult:
+        """Perform one DRAM access and return its latency and row-buffer outcome.
+
+        ``request_type`` tags the request so row-buffer conflicts can be
+        attributed (e.g. conflicts *caused by* page-table accesses, the metric
+        of Figs. 14 and 21).
+        """
+        channel, bank, row = self.map_address(address)
+        state = self._banks[(channel, bank)]
+
+        self.counters.add("accesses")
+        self.counters.add(f"accesses_{request_type}")
+
+        if self.page_policy == "closed":
+            latency = self.config.row_miss_latency
+            row_hit = False
+            row_conflict = False
+            self.counters.add("row_misses")
+        elif state.open_row is None:
+            latency = self.config.row_miss_latency
+            row_hit = False
+            row_conflict = False
+            self.counters.add("row_misses")
+        elif state.open_row == row:
+            latency = self.config.row_hit_latency
+            row_hit = True
+            row_conflict = False
+            self.counters.add("row_hits")
+            self.counters.add(f"row_hits_{request_type}")
+        else:
+            latency = self.config.row_conflict_latency
+            row_hit = False
+            row_conflict = True
+            self.counters.add("row_conflicts")
+            self.counters.add(f"row_conflicts_{request_type}")
+            # Attribute the conflict to the request class that caused the row
+            # to be closed *and* the one whose row was evicted.
+            self.counters.add(f"row_conflicts_caused_by_{request_type}")
+            self.counters.add(f"row_conflicts_victim_{state.open_row_owner}")
+
+        if self.page_policy == "open":
+            state.open_row = row
+            state.open_row_owner = request_type
+        else:
+            state.open_row = None
+            state.open_row_owner = "none"
+
+        return DRAMAccessResult(latency=latency, row_hit=row_hit, row_conflict=row_conflict,
+                                channel=channel, bank=bank, row=row)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def row_buffer_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row."""
+        total = self.counters.get("accesses")
+        if total == 0:
+            return 0.0
+        return self.counters.get("row_hits") / total
+
+    def row_conflicts(self, caused_by: Optional[str] = None) -> int:
+        """Total row-buffer conflicts, optionally those caused by one request class."""
+        if caused_by is None:
+            return self.counters.get("row_conflicts")
+        return self.counters.get(f"row_conflicts_caused_by_{caused_by}")
+
+    def translation_row_conflicts(self) -> int:
+        """Row-buffer conflicts caused by address-translation metadata accesses.
+
+        Translation metadata covers page-table entries, hash-table buckets,
+        range-table nodes and Utopia's RestSeg tag/filter structures — every
+        request type the translation layer issues with a ``ptw``/``translation``
+        tag.
+        """
+        total = 0
+        for key, value in self.counters.as_dict().items():
+            if key.startswith("row_conflicts_caused_by_ptw") or \
+               key.startswith("row_conflicts_caused_by_translation"):
+                total += value
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+    def reset_stats(self) -> None:
+        """Clear statistics but keep row-buffer state."""
+        self.counters.reset()
+
+    def __repr__(self) -> str:
+        return (f"DRAMModel({self.capacity // (1024 ** 3)}GB, "
+                f"{self.num_channels}ch x {self.banks_per_channel}banks, "
+                f"{self.page_policy}-page)")

@@ -1,0 +1,168 @@
+"""The memory hierarchy: L1/L2/L3 caches in front of DRAM.
+
+`MemoryHierarchy.access` is the single entry point used by the core model,
+the page-table walker and the MimicOS instruction-stream injector.  Each
+access carries a *request type* so that cache pollution and DRAM row-buffer
+interference can be attributed to application data, page-table walks,
+translation metadata or kernel (MimicOS) activity — the attribution the
+paper's case studies are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig, DRAMConfig, PrefetcherConfig, SystemConfig
+from repro.common.stats import Counter
+from repro.memhier.cache import Cache
+from repro.memhier.dram import DRAMModel
+from repro.memhier.prefetcher import build_prefetcher
+
+
+class MemoryAccessType(str, Enum):
+    """Who issued a memory request; used for attribution, not behaviour."""
+
+    DATA = "data"
+    INSTRUCTION = "instruction"
+    PTW = "ptw"
+    TRANSLATION = "translation"
+    KERNEL = "kernel"
+    KERNEL_ZERO = "kernel_zero"
+    PREFETCH = "prefetch"
+    SWAP = "swap"
+
+
+@dataclass
+class MemoryRequest:
+    """A single memory request travelling down the hierarchy."""
+
+    address: int
+    is_write: bool = False
+    access_type: MemoryAccessType = MemoryAccessType.DATA
+    pc: int = 0
+
+
+@dataclass
+class MemoryAccessOutcome:
+    """Latency and where in the hierarchy the request was satisfied."""
+
+    latency: int
+    served_by: str
+    row_conflict: bool = False
+
+
+class MemoryHierarchy:
+    """Three cache levels backed by DRAM, with per-level prefetchers.
+
+    The hierarchy is deliberately blocking and latency-additive: a request
+    pays each level's lookup latency until it hits, then DRAM latency if it
+    misses everywhere.  Memory-level parallelism is modelled by the core
+    model (which discounts overlapping misses), not here.
+    """
+
+    def __init__(self,
+                 l1_config: CacheConfig,
+                 l2_config: CacheConfig,
+                 l3_config: CacheConfig,
+                 dram_config: DRAMConfig,
+                 l1_prefetcher: Optional[PrefetcherConfig] = None,
+                 l2_prefetcher: Optional[PrefetcherConfig] = None):
+        self.l1 = Cache(l1_config)
+        self.l2 = Cache(l2_config)
+        self.l3 = Cache(l3_config)
+        self.dram = DRAMModel(dram_config)
+        self.l1_prefetcher = build_prefetcher(l1_prefetcher, l1_config.line_size)
+        self.l2_prefetcher = build_prefetcher(l2_prefetcher, l2_config.line_size)
+        self.counters = Counter()
+
+    @classmethod
+    def from_system_config(cls, config: SystemConfig) -> "MemoryHierarchy":
+        """Build the hierarchy described by a :class:`SystemConfig`."""
+        return cls(
+            l1_config=config.l1d_cache,
+            l2_config=config.l2_cache,
+            l3_config=config.l3_cache,
+            dram_config=config.dram,
+            l1_prefetcher=config.l1_prefetcher,
+            l2_prefetcher=config.l2_prefetcher,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def access(self, request: MemoryRequest) -> MemoryAccessOutcome:
+        """Send one request through L1 -> L2 -> L3 -> DRAM and return its outcome."""
+        request_type = request.access_type.value
+        self.counters.add("requests")
+        self.counters.add(f"requests_{request_type}")
+
+        latency = 0
+        row_conflict = False
+
+        l1_result = self.l1.access(request.address, request.is_write, request_type)
+        latency += l1_result.latency
+        if l1_result.hit:
+            self._run_prefetchers(request, level=1)
+            return MemoryAccessOutcome(latency=latency, served_by="L1")
+
+        l2_result = self.l2.access(request.address, request.is_write, request_type)
+        latency += l2_result.latency
+        if l2_result.hit:
+            self._run_prefetchers(request, level=2)
+            return MemoryAccessOutcome(latency=latency, served_by="L2")
+
+        l3_result = self.l3.access(request.address, request.is_write, request_type)
+        latency += l3_result.latency
+        if l3_result.hit:
+            return MemoryAccessOutcome(latency=latency, served_by="L3")
+
+        dram_result = self.dram.access(request.address, request_type)
+        latency += dram_result.latency
+        row_conflict = dram_result.row_conflict
+        self._run_prefetchers(request, level=2)
+        return MemoryAccessOutcome(latency=latency, served_by="DRAM", row_conflict=row_conflict)
+
+    def access_address(self, address: int, is_write: bool = False,
+                       access_type: MemoryAccessType = MemoryAccessType.DATA,
+                       pc: int = 0) -> int:
+        """Convenience wrapper returning only the latency of an access."""
+        return self.access(MemoryRequest(address, is_write, access_type, pc)).latency
+
+    def _run_prefetchers(self, request: MemoryRequest, level: int) -> None:
+        """Train the prefetchers on a demand access and issue prefetch fills."""
+        if request.access_type in (MemoryAccessType.PREFETCH,):
+            return
+        if level == 1:
+            candidates = self.l1_prefetcher.observe(request.address, request.pc)
+            for address in candidates:
+                if address < 0:
+                    continue
+                self.counters.add("l1_prefetches")
+                self.l1.fill(address, request_type="prefetch")
+        candidates = self.l2_prefetcher.observe(request.address, request.pc)
+        for address in candidates:
+            if address < 0:
+                continue
+            self.counters.add("l2_prefetches")
+            self.l2.fill(address, request_type="prefetch")
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Nested counter snapshot for every level of the hierarchy."""
+        return {
+            "hierarchy": self.counters.as_dict(),
+            "l1": self.l1.stats(),
+            "l2": self.l2.stats(),
+            "l3": self.l3.stats(),
+            "dram": self.dram.stats(),
+        }
+
+    def flush_caches(self) -> None:
+        """Invalidate all cache levels (keeps DRAM row-buffer state)."""
+        self.l1.flush()
+        self.l2.flush()
+        self.l3.flush()

@@ -1,0 +1,108 @@
+"""Hardware data prefetchers attached to cache levels.
+
+Two prefetchers from Table 4 are modelled: an IP-stride prefetcher on the L1
+data cache and a stream prefetcher on the L2.  Prefetchers only generate
+candidate addresses; the memory hierarchy decides whether a prefetch fill
+actually happens and charges no latency for it (prefetch traffic still
+perturbs cache contents and DRAM row-buffer state, which is the effect the
+row-buffer-conflict experiments care about).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.config import PrefetcherConfig
+
+
+class Prefetcher:
+    """Interface: observe a demand access, emit prefetch candidate addresses."""
+
+    def observe(self, address: int, pc: int) -> List[int]:
+        """Return a list of addresses to prefetch after this demand access."""
+        raise NotImplementedError
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching."""
+
+    def observe(self, address: int, pc: int) -> List[int]:
+        return []
+
+
+class IPStridePrefetcher(Prefetcher):
+    """Classic instruction-pointer-indexed stride prefetcher.
+
+    Tracks the last address and stride per load PC; after two accesses with a
+    stable stride, prefetches ``degree`` lines ahead along that stride.
+    """
+
+    def __init__(self, config: PrefetcherConfig, line_size: int = 64):
+        self.degree = config.degree
+        self.table_entries = config.table_entries
+        self.line_size = line_size
+        self._table: Dict[int, Dict[str, int]] = {}
+
+    def observe(self, address: int, pc: int) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # Evict the oldest entry (FIFO over insertion order).
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = {"last": address, "stride": 0, "confidence": 0}
+            return []
+        stride = address - entry["last"]
+        prefetches: List[int] = []
+        if stride != 0 and stride == entry["stride"]:
+            entry["confidence"] = min(entry["confidence"] + 1, 3)
+            if entry["confidence"] >= 2:
+                prefetches = [address + stride * i for i in range(1, self.degree + 1)]
+        else:
+            entry["confidence"] = 0
+        entry["stride"] = stride
+        entry["last"] = address
+        return prefetches
+
+
+class StreamPrefetcher(Prefetcher):
+    """Next-line stream prefetcher with simple stream detection.
+
+    Tracks active streams by 4 KB region; once two sequential line accesses
+    are seen in a region, prefetches the next ``degree`` lines.
+    """
+
+    REGION_SIZE = 4096
+
+    def __init__(self, config: PrefetcherConfig, line_size: int = 64):
+        self.degree = config.degree
+        self.table_entries = config.table_entries
+        self.line_size = line_size
+        self._streams: Dict[int, Dict[str, int]] = {}
+
+    def observe(self, address: int, pc: int) -> List[int]:
+        region = address // self.REGION_SIZE
+        line = address // self.line_size
+        stream = self._streams.get(region)
+        if stream is None:
+            if len(self._streams) >= self.table_entries:
+                self._streams.pop(next(iter(self._streams)))
+            self._streams[region] = {"last_line": line, "trained": 0}
+            return []
+        direction = 1 if line >= stream["last_line"] else -1
+        if abs(line - stream["last_line"]) == 1:
+            stream["trained"] = min(stream["trained"] + 1, 3)
+        stream["last_line"] = line
+        if stream["trained"] >= 1:
+            return [(line + direction * i) * self.line_size for i in range(1, self.degree + 1)]
+        return []
+
+
+def build_prefetcher(config: Optional[PrefetcherConfig], line_size: int = 64) -> Prefetcher:
+    """Factory mapping a :class:`PrefetcherConfig` to a prefetcher instance."""
+    if config is None or config.kind == "none":
+        return NullPrefetcher()
+    if config.kind == "ip_stride":
+        return IPStridePrefetcher(config, line_size)
+    if config.kind == "stream":
+        return StreamPrefetcher(config, line_size)
+    raise ValueError(f"unknown prefetcher kind: {config.kind}")

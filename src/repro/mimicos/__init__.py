@@ -1,0 +1,52 @@
+"""MimicOS: a lightweight userspace kernel imitating Linux memory management.
+
+MimicOS is the software half of Virtuoso.  It imitates — rather than
+emulates with fixed latencies, or fully executes like a real kernel — the
+Linux memory-management subsystem: virtual-memory areas, the buddy and slab
+physical allocators, transparent huge pages (including reservation-based
+policies), hugetlbfs, khugepaged, the page cache, the swap subsystem and the
+page-fault handler of Fig. 6 in the paper.
+
+Every kernel routine records the *work it actually performed* as a list of
+:class:`~repro.mimicos.ops.KernelOp` records; the imitation methodology in
+:mod:`repro.core` turns those records into dynamically generated instruction
+streams that are injected into the architectural simulator's core and memory
+models.
+"""
+
+from repro.mimicos.buddy import BuddyAllocator
+from repro.mimicos.fault import PageFaultHandler, PageFaultResult
+from repro.mimicos.fragmentation import FragmentationController
+from repro.mimicos.hugetlbfs import HugeTLBFS
+from repro.mimicos.hypervisor import NestedFaultResult, VirtualMachine
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.khugepaged import Khugepaged
+from repro.mimicos.ops import KernelOp, KernelRoutineTrace
+from repro.mimicos.page_cache import PageCache
+from repro.mimicos.process import Process
+from repro.mimicos.slab import SlabAllocator
+from repro.mimicos.swap import SwapSubsystem
+from repro.mimicos.thp import build_thp_policy
+from repro.mimicos.vma import VMAKind, VirtualMemoryArea, VMAManager
+
+__all__ = [
+    "BuddyAllocator",
+    "FragmentationController",
+    "HugeTLBFS",
+    "KernelOp",
+    "KernelRoutineTrace",
+    "Khugepaged",
+    "MimicOS",
+    "NestedFaultResult",
+    "PageCache",
+    "PageFaultHandler",
+    "PageFaultResult",
+    "Process",
+    "SlabAllocator",
+    "SwapSubsystem",
+    "VMAKind",
+    "VMAManager",
+    "VirtualMachine",
+    "VirtualMemoryArea",
+    "build_thp_policy",
+]

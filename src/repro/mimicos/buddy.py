@@ -1,0 +1,271 @@
+"""Buddy physical-page allocator, imitating Linux's zoned buddy system.
+
+The buddy allocator manages physical memory in blocks of ``4 KB * 2**order``.
+Order 0 is a 4 KB base page, order 9 a 2 MB huge page and order 18 a 1 GB
+gigantic page.  Allocation splits larger blocks; freeing coalesces buddies.
+The allocator also exposes the fragmentation metrics the paper's case
+studies are parameterised by (fraction of free 2 MB blocks, largest free
+contiguous segments).
+
+When a :class:`~repro.mimicos.ops.KernelRoutineTrace` is supplied, every
+free-list scan, split and coalesce records kernel work and memory touches so
+the imitation layer can charge realistic, *variable* latency for physical
+memory allocation — the core observation of Fig. 2 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.common.addresses import PAGE_SIZE_4K
+from repro.common.stats import Counter
+from repro.mimicos.ops import KernelAddressSpace, KernelOp, KernelRoutineTrace
+
+#: Order of a 2 MB block (2 MB / 4 KB = 2**9).
+ORDER_2M = 9
+#: Order of a 1 GB block (1 GB / 4 KB = 2**18).
+ORDER_1G = 18
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a buddy allocation."""
+
+    address: int
+    order: int
+    splits: int = 0
+    scanned_orders: int = 0
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when the buddy allocator cannot satisfy a request."""
+
+
+class BuddyAllocator:
+    """A binary-buddy allocator over a contiguous physical address range."""
+
+    def __init__(self, total_bytes: int, base_address: int = 0,
+                 max_order: int = ORDER_1G,
+                 kernel_space: Optional[KernelAddressSpace] = None):
+        if total_bytes <= 0 or total_bytes % PAGE_SIZE_4K != 0:
+            raise ValueError("total_bytes must be a positive multiple of 4KB")
+        self.total_bytes = total_bytes
+        self.base_address = base_address
+        self.max_order = max_order
+        self.kernel_space = kernel_space
+        self.counters = Counter()
+        # Each free list is an insertion-ordered dict used as an ordered set:
+        # membership tests (coalescing) and popping the oldest block are both
+        # O(1), which keeps allocation fast even with hundreds of thousands of
+        # free 4 KB blocks (the fragmented-memory experiments).
+        self._free_lists: Dict[int, Dict[int, None]] = {order: {} for order in range(max_order + 1)}
+        #: address -> order for every currently allocated block.
+        self._allocated: Dict[int, int] = {}
+        self._free_bytes = 0
+        self._populate_free_lists()
+
+    # ------------------------------------------------------------------ #
+    # Initial free-list population
+    # ------------------------------------------------------------------ #
+    def _populate_free_lists(self) -> None:
+        remaining = self.total_bytes
+        address = self.base_address
+        while remaining > 0:
+            order = self.max_order
+            while order > 0 and (self._block_size(order) > remaining or
+                                 (address - self.base_address) % self._block_size(order) != 0):
+                order -= 1
+            self._free_lists[order][address] = None
+            block = self._block_size(order)
+            address += block
+            remaining -= block
+            self._free_bytes += block
+
+    def _block_size(self, order: int) -> int:
+        return PAGE_SIZE_4K << order
+
+    # ------------------------------------------------------------------ #
+    # Allocation / free
+    # ------------------------------------------------------------------ #
+    def allocate(self, order: int, trace: Optional[KernelRoutineTrace] = None) -> AllocationResult:
+        """Allocate one block of the given order.
+
+        Raises :class:`OutOfMemoryError` if no block of this order (or any
+        larger order that could be split) is free.
+        """
+        if not 0 <= order <= self.max_order:
+            raise ValueError(f"order {order} out of range [0, {self.max_order}]")
+
+        op = trace.new_op("buddy_alloc", work_units=1) if trace is not None else None
+
+        scanned = 0
+        found_order = None
+        for candidate in range(order, self.max_order + 1):
+            scanned += 1
+            if op is not None:
+                op.touch(self._freelist_address(candidate), is_write=False)
+            if self._free_lists[candidate]:
+                found_order = candidate
+                break
+        if found_order is None:
+            self.counters.add("allocation_failures")
+            raise OutOfMemoryError(f"no free block of order >= {order}")
+
+        free_list = self._free_lists[found_order]
+        address = next(iter(free_list))
+        del free_list[address]
+
+        splits = 0
+        current_order = found_order
+        while current_order > order:
+            current_order -= 1
+            splits += 1
+            buddy = address + self._block_size(current_order)
+            self._free_lists[current_order][buddy] = None
+            if op is not None:
+                op.work_units += 1
+                op.touch(self._freelist_address(current_order), is_write=True)
+
+        self._allocated[address] = order
+        self._free_bytes -= self._block_size(order)
+        self.counters.add("allocations")
+        self.counters.add(f"allocations_order_{order}")
+        self.counters.add("splits", splits)
+        if op is not None:
+            op.work_units += scanned
+        return AllocationResult(address=address, order=order, splits=splits, scanned_orders=scanned)
+
+    def allocate_bytes(self, size_bytes: int,
+                       trace: Optional[KernelRoutineTrace] = None) -> AllocationResult:
+        """Allocate the smallest block that covers ``size_bytes``."""
+        order = 0
+        while self._block_size(order) < size_bytes:
+            order += 1
+            if order > self.max_order:
+                raise OutOfMemoryError(f"request of {size_bytes} bytes exceeds max block size")
+        return self.allocate(order, trace)
+
+    def splinter(self, order: int = ORDER_2M) -> int:
+        """Break one free block of ``order`` so it no longer exists as a unit.
+
+        One 4 KB page of the block stays allocated (pinned) and the remainder
+        is returned to the free lists as the maximal set of smaller buddies,
+        so the block can no longer back a huge page while almost all of its
+        capacity stays available to 4 KB allocations.  Used by the
+        fragmentation controller; returns the pinned page's address.
+        """
+        result = self.allocate(order)
+        base = result.address
+        # Re-register the block as: [pinned 4 KB][free 4 KB][free 8 KB]...[free half].
+        self._allocated[base] = 0
+        for sub_order in range(order):
+            self._free_lists[sub_order][base + (PAGE_SIZE_4K << sub_order)] = None
+        self._free_bytes += self._block_size(order) - PAGE_SIZE_4K
+        self.counters.add("splinters")
+        return base
+
+    def free(self, address: int, trace: Optional[KernelRoutineTrace] = None) -> None:
+        """Free a previously allocated block, coalescing with free buddies."""
+        if address not in self._allocated:
+            raise ValueError(f"address {address:#x} was not allocated by this buddy allocator")
+        order = self._allocated.pop(address)
+        self._free_bytes += self._block_size(order)
+        self.counters.add("frees")
+
+        op = trace.new_op("buddy_free", work_units=1) if trace is not None else None
+
+        # Coalesce upwards while the buddy block is also free.
+        while order < self.max_order:
+            buddy = self._buddy_of(address, order)
+            if buddy not in self._free_lists[order]:
+                break
+            del self._free_lists[order][buddy]
+            address = min(address, buddy)
+            order += 1
+            self.counters.add("coalesces")
+            if op is not None:
+                op.work_units += 1
+                op.touch(self._freelist_address(order), is_write=True)
+        self._free_lists[order][address] = None
+        if op is not None:
+            op.touch(self._freelist_address(order), is_write=True)
+
+    def _buddy_of(self, address: int, order: int) -> int:
+        offset = address - self.base_address
+        return self.base_address + (offset ^ self._block_size(order))
+
+    def _freelist_address(self, order: int) -> int:
+        if self.kernel_space is None:
+            # Fall back to a synthetic address anchored past the managed range.
+            return self.base_address + self.total_bytes + order * 64
+        return self.kernel_space.entry_address("buddy_free_lists", order)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return self._free_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self.total_bytes - self._free_bytes
+
+    @property
+    def usage(self) -> float:
+        """Fraction of physical memory in use (drives the swap threshold)."""
+        return self.used_bytes / self.total_bytes
+
+    def free_blocks(self, order: int) -> int:
+        """Number of free blocks at exactly ``order``."""
+        return len(self._free_lists[order])
+
+    def has_block(self, order: int) -> bool:
+        """True if a block of at least ``order`` can be allocated without failing."""
+        return any(self._free_lists[o] for o in range(order, self.max_order + 1))
+
+    def free_blocks_at_least(self, order: int) -> int:
+        """Number of free blocks of order ``order``, counting larger blocks as multiple."""
+        count = 0
+        for o in range(order, self.max_order + 1):
+            count += len(self._free_lists[o]) << (o - order)
+        return count
+
+    def fraction_free_huge_blocks(self, order: int = ORDER_2M) -> float:
+        """Fraction of the physical memory's ``order``-sized slots that are free.
+
+        This is the paper's definition of memory fragmentation for the page
+        table case study: "the percentage of free 2 MB pages compared to the
+        total number of 2 MB pages".
+        """
+        total_slots = self.total_bytes // self._block_size(order)
+        if total_slots == 0:
+            return 0.0
+        return self.free_blocks_at_least(order) / total_slots
+
+    def largest_free_segments(self, count: int) -> List[int]:
+        """Sizes (bytes) of the ``count`` largest free contiguous segments.
+
+        Used for the RMM fragmentation definition (ratio of the top-50
+        largest unallocated contiguous segments to total memory).
+        """
+        segments: List[int] = []
+        for order, blocks in self._free_lists.items():
+            segments.extend([self._block_size(order)] * len(blocks))
+        segments.sort(reverse=True)
+        return segments[:count]
+
+    def contiguity_score(self, top_n: int = 50) -> float:
+        """RMM-style fragmentation metric: top-N free segment bytes / total bytes."""
+        return sum(self.largest_free_segments(top_n)) / self.total_bytes
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+    def __repr__(self) -> str:
+        return (f"BuddyAllocator({self.total_bytes >> 30}GB, "
+                f"free={self._free_bytes >> 20}MB)")

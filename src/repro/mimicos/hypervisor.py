@@ -1,0 +1,164 @@
+"""Virtualised execution: a guest MimicOS running on a hypervisor MimicOS.
+
+Virtuoso supports simulating virtual machines (§6.1) by spawning *two*
+MimicOS instances: one imitating the guest OS and one imitating the
+hypervisor (KVM-like).  Guest "physical" memory is just a region of the
+host's virtual address space, so every guest frame is backed by a host frame
+obtained through a host page fault, and address translation becomes
+two-dimensional: guest-virtual -> guest-physical via the guest page table,
+guest-physical -> host-physical via the host (nested/extended) page table.
+The hardware side of that 2-D walk is modelled by
+:class:`repro.mmu.nested.NestedTranslationUnit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.addresses import PAGE_SIZE_4K, align_down
+from repro.common.config import MimicOSConfig, PageTableConfig
+from repro.common.stats import Counter
+from repro.mimicos.fault import PageFaultResult
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mimicos.vma import VMAKind, VirtualMemoryArea
+from repro.mmu.nested import NestedTranslationUnit
+from repro.storage.ssd import SSDModel
+
+
+@dataclass
+class NestedFaultResult:
+    """Outcome of a guest page fault, including any hypervisor work it caused."""
+
+    guest: PageFaultResult
+    host: Optional[PageFaultResult] = None
+
+    @property
+    def segfault(self) -> bool:
+        """True if either level failed to resolve the fault."""
+        if self.guest.segfault:
+            return True
+        return self.host is not None and self.host.segfault
+
+    @property
+    def total_disk_latency_cycles(self) -> int:
+        """Disk latency accumulated at both levels."""
+        total = self.guest.disk_latency_cycles
+        if self.host is not None:
+            total += self.host.disk_latency_cycles
+        return total
+
+
+class VirtualMachine:
+    """A guest MimicOS whose physical memory is backed by a host MimicOS.
+
+    The guest kernel manages a *guest-physical* address space whose size is
+    the VM's configured memory; the hypervisor backs it lazily, exactly like
+    KVM backs guest RAM with anonymous host memory: the first guest fault
+    that touches a guest-physical frame triggers a host fault that allocates
+    the backing host frame (a nested, two-level fault — the case §6.1
+    describes).
+    """
+
+    def __init__(self, host: MimicOS, guest_memory_bytes: int,
+                 guest_config: Optional[MimicOSConfig] = None,
+                 guest_page_table_config: Optional[PageTableConfig] = None,
+                 name: str = "vm"):
+        self.host = host
+        self.name = name
+        self.counters = Counter()
+
+        guest_config = guest_config or MimicOSConfig(
+            physical_memory_bytes=guest_memory_bytes,
+            thp_policy="linux",
+            swap_size_bytes=0,
+            page_cache_size_bytes=min(guest_memory_bytes // 8, 64 << 20),
+            fragmentation_target=1.0,
+        )
+        self.guest = MimicOS(guest_config, guest_page_table_config or PageTableConfig())
+
+        # The hypervisor process that owns the guest's RAM backing.
+        self.host_process: Process = host.create_process(f"{name}-vmm")
+        self.guest_ram_vma: VirtualMemoryArea = host.mmap(
+            self.host_process, guest_memory_bytes, kind=VMAKind.ANONYMOUS,
+            name=f"{name}-guest-ram")
+
+    # ------------------------------------------------------------------ #
+    # Guest-side API
+    # ------------------------------------------------------------------ #
+    def create_guest_process(self, name: str = "") -> Process:
+        """Create a process inside the guest OS."""
+        return self.guest.create_process(name or f"{self.name}-app")
+
+    def guest_mmap(self, process: Process, size: int, **kwargs) -> VirtualMemoryArea:
+        """mmap() inside the guest."""
+        return self.guest.mmap(process, size, **kwargs)
+
+    def handle_guest_page_fault(self, pid: int, guest_virtual: int,
+                                now_cycles: int = 0) -> NestedFaultResult:
+        """Handle a guest fault, propagating to the hypervisor when needed.
+
+        The guest kernel resolves the fault against guest-physical memory;
+        if the chosen guest-physical frame is not yet backed by host memory,
+        the hypervisor takes a (host) page fault on the guest-RAM mapping and
+        allocates the backing frame — both traces are returned so the
+        simulator can inject the instruction streams of both kernels.
+        """
+        self.counters.add("guest_page_faults")
+        guest_result = self.guest.handle_page_fault(pid, guest_virtual, now_cycles)
+        if guest_result.segfault:
+            return NestedFaultResult(guest=guest_result)
+
+        host_result = None
+        host_virtual = self.guest_physical_to_host_virtual(guest_result.physical_base)
+        if self.host_process.page_table.lookup(host_virtual) is None:
+            self.counters.add("hypervisor_backing_faults")
+            host_result = self.host.handle_page_fault(self.host_process.pid, host_virtual,
+                                                      now_cycles)
+        return NestedFaultResult(guest=guest_result, host=host_result)
+
+    # ------------------------------------------------------------------ #
+    # Address-space plumbing
+    # ------------------------------------------------------------------ #
+    def guest_physical_to_host_virtual(self, guest_physical: int) -> int:
+        """Map a guest-physical address into the hypervisor's guest-RAM VMA."""
+        offset = guest_physical % self.guest_ram_vma.size
+        return self.guest_ram_vma.start + align_down(offset, PAGE_SIZE_4K)
+
+    def nested_translation_unit(self, guest_process: Process) -> NestedTranslationUnit:
+        """Build the 2-D translation unit for ``guest_process`` (guest PT + EPT).
+
+        The host's page table for the VMM process plays the role of the
+        extended/nested page table: it maps guest-physical frames (offsets in
+        the guest-RAM VMA) to host-physical frames.
+        """
+        return NestedTranslationUnit(guest_process.page_table,
+                                     _HostBackingPageTable(self))
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+
+class _HostBackingPageTable:
+    """Adapter presenting the hypervisor's backing as a guest-physical -> host table.
+
+    The nested walker hands it guest-physical addresses; it rebases them into
+    the guest-RAM VMA and walks the hypervisor's real page table.
+    """
+
+    replaces_tlbs = False
+    overrides_allocation = False
+
+    def __init__(self, vm: VirtualMachine):
+        self.vm = vm
+        self.inner = vm.host_process.page_table
+
+    def walk(self, guest_physical: int, memory):
+        host_virtual = self.vm.guest_physical_to_host_virtual(guest_physical)
+        return self.inner.walk(host_virtual, memory)
+
+    def lookup(self, guest_physical: int):
+        host_virtual = self.vm.guest_physical_to_host_virtual(guest_physical)
+        return self.inner.lookup(host_virtual)

@@ -1,0 +1,53 @@
+"""Simulated processes: an address space plus bookkeeping.
+
+A :class:`Process` is little more than a process id, a VMA manager and a
+reference to the translation structure (page table) MimicOS maintains for
+it.  The MMU model holds a pointer to the currently running process to know
+which page table to walk, and the workload generators create the VMAs a
+process's trace will touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.stats import Counter
+from repro.mimicos.vma import VMAKind, VMAManager, VirtualMemoryArea
+
+
+@dataclass
+class Process:
+    """One simulated process / address space."""
+
+    pid: int
+    name: str = ""
+    vmas: VMAManager = field(default_factory=VMAManager)
+    #: The translation structure (set by MimicOS when the process is created).
+    page_table: Optional[object] = None
+    counters: Counter = field(default_factory=Counter)
+
+    def mmap(self, size: int, kind: VMAKind = VMAKind.ANONYMOUS,
+             fixed_address: Optional[int] = None, allow_1g_pages: bool = False,
+             name: str = "") -> VirtualMemoryArea:
+        """Create a new mapping in this process's address space."""
+        self.counters.add("mmap_calls")
+        return self.vmas.mmap(size, kind=kind, fixed_address=fixed_address,
+                              allow_1g_pages=allow_1g_pages, name=name)
+
+    def munmap(self, vma: VirtualMemoryArea) -> None:
+        """Remove a mapping."""
+        self.counters.add("munmap_calls")
+        self.vmas.munmap(vma)
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes mapped by this process."""
+        return self.vmas.total_mapped_bytes
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, name={self.name!r}, vmas={len(self.vmas)})"

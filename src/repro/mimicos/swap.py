@@ -1,0 +1,130 @@
+"""Swap subsystem: swap cache, swap file and reclaim accounting.
+
+MimicOS swaps anonymous pages to an SSD-backed swap file when physical
+memory usage crosses the configured threshold (Table 4: 4 GB swap, 90 %
+threshold).  The swap subsystem also serves Use Case 4 (Fig. 20), where
+Utopia's restrictive mapping forces swap-outs even when free memory exists
+because a RestSeg set overflows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.addresses import PAGE_SIZE_4K
+from repro.common.stats import Counter
+from repro.mimicos.ops import KernelAddressSpace, KernelRoutineTrace
+from repro.storage.ssd import SSDModel
+
+
+class SwapFullError(RuntimeError):
+    """Raised when the swap file has no free slots left."""
+
+
+class SwapSubsystem:
+    """Swap cache + swap file with SSD-backed latency.
+
+    Keys are ``(pid, virtual page number)``; a swapped-out page occupies one
+    4 KB slot in the swap file.  All latencies are returned in core cycles
+    so the fault handler can add them to the fault's disk component.
+    """
+
+    def __init__(self, swap_size_bytes: int, ssd: Optional[SSDModel] = None,
+                 kernel_space: Optional[KernelAddressSpace] = None):
+        if swap_size_bytes < 0:
+            raise ValueError("swap size cannot be negative")
+        self.capacity_slots = swap_size_bytes // PAGE_SIZE_4K
+        self.ssd = ssd
+        self.kernel_space = kernel_space
+        #: (pid, vpn) -> swap slot index
+        self._slots: Dict[Tuple[int, int], int] = {}
+        self._free_slot = 0
+        self._recycled_slots: list = []
+        self.counters = Counter()
+        #: Total cycles spent performing swap I/O (the Fig. 20 metric).
+        self.swap_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_swapped(self, pid: int, vpn: int) -> bool:
+        """True if the page is currently in the swap file."""
+        return (pid, vpn) in self._slots
+
+    @property
+    def used_slots(self) -> int:
+        """Number of occupied swap slots."""
+        return len(self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of free swap slots."""
+        return self.capacity_slots - len(self._slots)
+
+    # ------------------------------------------------------------------ #
+    # Swap out / in
+    # ------------------------------------------------------------------ #
+    def swap_out(self, pid: int, vpn: int, now_cycles: int = 0,
+                 trace: Optional[KernelRoutineTrace] = None) -> int:
+        """Write one page to the swap file; returns the I/O latency in cycles."""
+        if self.free_slots <= 0:
+            self.counters.add("swap_full")
+            raise SwapFullError("swap file is full")
+        if self._recycled_slots:
+            slot = self._recycled_slots.pop()
+        else:
+            slot = self._free_slot
+            self._free_slot += 1
+        self._slots[(pid, vpn)] = slot
+        self.counters.add("swap_outs")
+
+        latency = 0
+        if self.ssd is not None:
+            latency = self.ssd.write(slot, now_cycles).latency_cycles
+        self.swap_cycles += latency
+
+        if trace is not None:
+            op = trace.new_op("swap_out", work_units=8)
+            op.touch(self._swap_map_address(slot), is_write=True)
+        return latency
+
+    def swap_in(self, pid: int, vpn: int, now_cycles: int = 0,
+                trace: Optional[KernelRoutineTrace] = None) -> int:
+        """Read one page back from the swap file; returns the I/O latency in cycles."""
+        key = (pid, vpn)
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            raise KeyError(f"page (pid={pid}, vpn={vpn:#x}) is not in swap")
+        self._recycled_slots.append(slot)
+        self.counters.add("swap_ins")
+
+        latency = 0
+        if self.ssd is not None:
+            latency = self.ssd.read(slot, now_cycles).latency_cycles
+        self.swap_cycles += latency
+
+        if trace is not None:
+            op = trace.new_op("swap_in", work_units=8)
+            op.touch(self._swap_map_address(slot), is_write=False)
+        return latency
+
+    def lookup_swap_cache(self, pid: int, vpn: int,
+                          trace: Optional[KernelRoutineTrace] = None) -> bool:
+        """The swap-cache probe of Fig. 6 (step 6); returns True if swapped."""
+        if trace is not None:
+            op = trace.new_op("swap_cache_lookup", work_units=2)
+            op.touch(self._swap_map_address(hash((pid, vpn)) % max(1, self.capacity_slots or 1)),
+                     is_write=False)
+        self.counters.add("swap_cache_lookups")
+        return self.is_swapped(pid, vpn)
+
+    def _swap_map_address(self, slot: int) -> int:
+        if self.kernel_space is None:
+            return 0xFFFF_8A00_0000_0000 + slot * 8
+        return self.kernel_space.entry_address("swap_map", slot, entry_size=8)
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot, plus the accumulated swap I/O cycles."""
+        stats = self.counters.as_dict()
+        stats["swap_cycles"] = self.swap_cycles
+        return stats

@@ -1,0 +1,355 @@
+"""The memory-management unit: translation plus the data access itself.
+
+For every memory operand the core model calls :meth:`MMU.access_data`.  The
+MMU looks up the TLB hierarchy, walks the active translation structure on a
+miss (paying for the walk's memory accesses through the shared memory
+hierarchy), reports page faults to the OS through a fault callback installed
+by the Virtuoso orchestrator (which runs MimicOS and injects the handler's
+instruction stream, returning the fault's latency), retries the walk, and
+finally performs the data access.
+
+Schemes that replace the TLBs (Midgard, VBI) follow their own path: a cheap
+frontend translation before the access and a backend translation charged
+only when the access reaches DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.addresses import PAGE_SIZE_4K, align_down
+from repro.common.stats import Counter, RunningStats
+from repro.memhier.memory_system import MemoryAccessType, MemoryHierarchy, MemoryRequest
+from repro.mmu.extensions import MMUExtensions
+from repro.mmu.nested import NestedTranslationUnit
+from repro.mmu.pom_tlb import PartOfMemoryTLB
+from repro.mmu.tlb import TLBHierarchy, TLBLookupResult
+from repro.mmu.tlb_prefetch import SequentialTLBPrefetcher
+from repro.mmu.victima import VictimaCacheTLB
+from repro.pagetables.base import PageTableBase
+
+#: Signature of the page-fault callback: (pid, virtual address) -> (latency, handled).
+FaultCallback = Callable[[int, int], Tuple[int, bool]]
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    virtual_address: int
+    physical_address: int = 0
+    latency: int = 0
+    tlb_hit: bool = False
+    tlb_level: str = "miss"
+    walked: bool = False
+    walk_latency: int = 0
+    walk_memory_accesses: int = 0
+    page_fault: bool = False
+    fault_latency: int = 0
+    segfault: bool = False
+    frontend_latency: int = 0
+    backend_latency: int = 0
+    page_size: int = PAGE_SIZE_4K
+
+
+@dataclass
+class MemoryOperationResult:
+    """Translation plus data access for one memory operand."""
+
+    translation: TranslationResult
+    data_latency: int = 0
+    served_by: str = "none"
+    total_latency: int = 0
+
+
+class MMU:
+    """The per-core MMU model."""
+
+    def __init__(self, tlb_hierarchy: TLBHierarchy, memory: MemoryHierarchy,
+                 extensions: Optional[MMUExtensions] = None):
+        self.tlbs = tlb_hierarchy
+        self.memory = memory
+        self.extensions = extensions or MMUExtensions()
+        self.counters = Counter()
+        self.ptw_latency_stats = RunningStats()
+        self.translation_latency_stats = RunningStats()
+        self.fault_latency_stats = RunningStats()
+
+        self.pid: int = 0
+        self.page_table: Optional[PageTableBase] = None
+        self.fault_callback: Optional[FaultCallback] = None
+        self.nested_unit: Optional[NestedTranslationUnit] = None
+
+        self.tlb_prefetcher = SequentialTLBPrefetcher() if self.extensions.tlb_prefetch else None
+        self.pom_tlb = PartOfMemoryTLB() if self.extensions.pom_tlb else None
+        self.victima = VictimaCacheTLB(memory.l2) if self.extensions.victima else None
+
+    # ------------------------------------------------------------------ #
+    # Context management
+    # ------------------------------------------------------------------ #
+    def set_context(self, pid: int, page_table: PageTableBase,
+                    flush_tlbs: bool = False) -> None:
+        """Switch the MMU to another process's address space."""
+        self.pid = pid
+        self.page_table = page_table
+        if flush_tlbs:
+            self.tlbs.flush()
+
+    def set_fault_callback(self, callback: FaultCallback) -> None:
+        """Install the OS page-fault entry point (wired up by Virtuoso)."""
+        self.fault_callback = callback
+
+    def set_nested_unit(self, nested_unit: Optional[NestedTranslationUnit]) -> None:
+        """Enable two-dimensional translation through ``nested_unit``."""
+        self.nested_unit = nested_unit
+
+    # ------------------------------------------------------------------ #
+    # Main access path
+    # ------------------------------------------------------------------ #
+    def access_data(self, virtual_address: int, is_write: bool = False,
+                    pc: int = 0) -> MemoryOperationResult:
+        """Translate ``virtual_address`` and perform the data access."""
+        if self.page_table is None:
+            raise RuntimeError("MMU has no page table; call set_context() first")
+        self.counters.add("data_accesses")
+
+        if getattr(self.page_table, "replaces_tlbs", False):
+            return self._access_intermediate_scheme(virtual_address, is_write, pc)
+
+        translation = self._translate(virtual_address)
+        if translation.segfault:
+            return MemoryOperationResult(translation=translation,
+                                         total_latency=translation.latency)
+
+        outcome = self.memory.access(MemoryRequest(translation.physical_address, is_write,
+                                                   MemoryAccessType.DATA, pc))
+        total = translation.latency + outcome.latency
+        return MemoryOperationResult(translation=translation, data_latency=outcome.latency,
+                                     served_by=outcome.served_by, total_latency=total)
+
+    def access_instruction(self, virtual_address: int, pc: int = 0) -> MemoryOperationResult:
+        """Instruction-fetch translation and access (used per fetched line)."""
+        if self.page_table is None:
+            raise RuntimeError("MMU has no page table; call set_context() first")
+        self.counters.add("instruction_accesses")
+        translation = self._translate(virtual_address, instruction=True)
+        if translation.segfault:
+            return MemoryOperationResult(translation=translation,
+                                         total_latency=translation.latency)
+        outcome = self.memory.access(MemoryRequest(translation.physical_address, False,
+                                                   MemoryAccessType.INSTRUCTION, pc))
+        total = translation.latency + outcome.latency
+        return MemoryOperationResult(translation=translation, data_latency=outcome.latency,
+                                     served_by=outcome.served_by, total_latency=total)
+
+    # ------------------------------------------------------------------ #
+    # Conventional (TLB + walk) translation
+    # ------------------------------------------------------------------ #
+    def _translate(self, virtual_address: int, instruction: bool = False) -> TranslationResult:
+        result = TranslationResult(virtual_address=virtual_address)
+        lookup = (self.tlbs.lookup_instruction(virtual_address) if instruction
+                  else self.tlbs.lookup_data(virtual_address))
+        result.latency += lookup.latency
+
+        if lookup.hit:
+            result.tlb_hit = True
+            result.tlb_level = lookup.level
+            result.page_size = lookup.page_size
+            result.physical_address = (lookup.physical_base
+                                       + virtual_address % lookup.page_size)
+            self.counters.add("tlb_hits")
+            self.translation_latency_stats.add(result.latency)
+            return result
+
+        self.counters.add("tlb_misses")
+
+        # Optional structures probed before the walk.
+        if self.victima is not None:
+            entry, latency = self.victima.lookup(virtual_address)
+            result.latency += latency
+            if entry is not None:
+                physical_base, page_size = entry
+                self._finish_walk_hit(result, virtual_address, physical_base, page_size,
+                                      instruction)
+                self.counters.add("victima_hits")
+                return result
+        if self.pom_tlb is not None:
+            entry, latency = self.pom_tlb.lookup(virtual_address, self.memory)
+            result.latency += latency
+            if entry is not None:
+                physical_base, page_size = entry
+                self._finish_walk_hit(result, virtual_address, physical_base, page_size,
+                                      instruction)
+                self.counters.add("pom_tlb_hits")
+                return result
+
+        walk = self._walk(virtual_address)
+        result.walked = True
+        result.walk_latency += walk.latency
+        result.walk_memory_accesses += walk.memory_accesses
+        result.latency += walk.latency
+
+        if not walk.found:
+            fault_latency, handled = self._raise_page_fault(virtual_address)
+            result.page_fault = True
+            result.fault_latency = fault_latency
+            result.latency += fault_latency
+            if not handled:
+                result.segfault = True
+                self.counters.add("segfaults")
+                self.translation_latency_stats.add(result.latency)
+                return result
+            walk = self._walk(virtual_address)
+            result.walk_latency += walk.latency
+            result.walk_memory_accesses += walk.memory_accesses
+            result.latency += walk.latency
+            if not walk.found:
+                result.segfault = True
+                self.counters.add("segfaults")
+                self.translation_latency_stats.add(result.latency)
+                return result
+
+        self._finish_walk_hit(result, virtual_address, walk.physical_base, walk.page_size,
+                              instruction)
+        return result
+
+    def _walk(self, virtual_address: int):
+        if self.nested_unit is not None and self.extensions.nested_translation:
+            nested = self.nested_unit.walk(virtual_address, self.memory)
+            self.counters.add("page_walks")
+            self.counters.add("ptw_memory_accesses", nested.memory_accesses)
+            self.ptw_latency_stats.add(nested.latency)
+            # Adapt the nested result to the WalkResult duck type.
+            class _Adapter:
+                pass
+            adapter = _Adapter()
+            adapter.found = nested.found
+            adapter.latency = nested.latency
+            adapter.memory_accesses = nested.memory_accesses
+            adapter.physical_base = nested.host_physical_base
+            adapter.page_size = nested.page_size
+            adapter.frontend_latency = 0
+            adapter.backend_latency = nested.latency
+            return adapter
+        walk = self.page_table.walk(virtual_address, self.memory)
+        self.counters.add("page_walks")
+        self.counters.add("ptw_memory_accesses", walk.memory_accesses)
+        self.ptw_latency_stats.add(walk.latency)
+        return walk
+
+    def _finish_walk_hit(self, result: TranslationResult, virtual_address: int,
+                         physical_base: int, page_size: int, instruction: bool) -> None:
+        result.page_size = page_size
+        result.physical_address = physical_base + (virtual_address
+                                                   - align_down(virtual_address, page_size))
+        self._fill_tlbs(virtual_address, physical_base, page_size, instruction)
+        self.translation_latency_stats.add(result.latency)
+
+    def _fill_tlbs(self, virtual_address: int, physical_base: int, page_size: int,
+                   instruction: bool) -> None:
+        if self.victima is not None:
+            # Capture the entry that the L2 TLB is about to evict.
+            set_index, tag = self.tlbs.l2._index_and_tag(virtual_address, page_size)
+            entries = self.tlbs.l2._sets[set_index]
+            if len(entries) >= self.tlbs.l2.associativity:
+                victim_key = min(entries, key=lambda k: entries[k][2])
+                victim_base, victim_size, _ = entries[victim_key]
+                self.victima.store_victim(victim_key[0] * victim_size, victim_base, victim_size)
+        self.tlbs.fill(virtual_address, physical_base, page_size, instruction=instruction)
+        if self.pom_tlb is not None:
+            self.pom_tlb.fill(virtual_address, physical_base, self.memory)
+        if self.tlb_prefetcher is not None and self.page_table is not None:
+            self.tlb_prefetcher.on_fill(virtual_address, page_size, self.page_table,
+                                        self.tlbs, self.memory)
+
+    def _raise_page_fault(self, virtual_address: int) -> Tuple[int, bool]:
+        self.counters.add("page_faults")
+        if self.fault_callback is None:
+            return 0, False
+        latency, handled = self.fault_callback(self.pid, virtual_address)
+        self.fault_latency_stats.add(latency)
+        return latency, handled
+
+    # ------------------------------------------------------------------ #
+    # Intermediate-address schemes (Midgard, VBI)
+    # ------------------------------------------------------------------ #
+    def _access_intermediate_scheme(self, virtual_address: int, is_write: bool,
+                                    pc: int) -> MemoryOperationResult:
+        page_table = self.page_table
+        result = TranslationResult(virtual_address=virtual_address)
+
+        intermediate, frontend_latency, _ = page_table.translate_frontend(virtual_address,
+                                                                          self.memory)
+        result.frontend_latency += frontend_latency
+        result.latency += frontend_latency
+
+        functional = page_table.translate_functional(virtual_address)
+        if intermediate is None or functional is None:
+            fault_latency, handled = self._raise_page_fault(virtual_address)
+            result.page_fault = True
+            result.fault_latency = fault_latency
+            result.latency += fault_latency
+            if not handled:
+                result.segfault = True
+                return MemoryOperationResult(translation=result, total_latency=result.latency)
+            intermediate, frontend_latency, _ = page_table.translate_frontend(virtual_address,
+                                                                              self.memory)
+            result.frontend_latency += frontend_latency
+            result.latency += frontend_latency
+            functional = page_table.translate_functional(virtual_address)
+            if functional is None:
+                result.segfault = True
+                return MemoryOperationResult(translation=result, total_latency=result.latency)
+
+        result.physical_address = functional
+        self.translation_latency_stats.add(result.latency)
+
+        # The caches are indexed with the intermediate address in Midgard/VBI;
+        # using the functional physical address as a proxy preserves hit/miss
+        # behaviour because the mapping is one-to-one.
+        outcome = self.memory.access(MemoryRequest(functional, is_write,
+                                                   MemoryAccessType.DATA, pc))
+        backend_latency = 0
+        if outcome.served_by == "DRAM" and intermediate is not None:
+            _, backend_latency, accesses = page_table.translate_backend(intermediate, self.memory)
+            result.backend_latency += backend_latency
+            result.walk_memory_accesses += accesses
+            self.counters.add("page_walks")
+            self.ptw_latency_stats.add(backend_latency)
+        result.latency += backend_latency
+
+        self.counters.add("data_accesses_intermediate")
+        total = result.latency + outcome.latency
+        return MemoryOperationResult(translation=result, data_latency=outcome.latency,
+                                     served_by=outcome.served_by, total_latency=total)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def l2_tlb_misses(self) -> int:
+        """L2 TLB misses (numerator of the Fig. 10 MPKI metric)."""
+        return self.tlbs.l2_misses()
+
+    def average_ptw_latency(self) -> float:
+        """Mean page-table-walk latency in cycles (Fig. 3 / Fig. 10 metric)."""
+        return self.ptw_latency_stats.mean
+
+    def total_ptw_latency(self) -> float:
+        """Total cycles spent walking (Fig. 13 metric)."""
+        return self.ptw_latency_stats.total
+
+    def total_translation_latency(self) -> float:
+        """Total translation cycles including TLB, walks and faults."""
+        return self.translation_latency_stats.total
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus latency summaries."""
+        return {
+            "counters": self.counters.as_dict(),
+            "tlbs": self.tlbs.stats(),
+            "avg_ptw_latency": self.average_ptw_latency(),
+            "total_ptw_latency": self.total_ptw_latency(),
+            "avg_translation_latency": self.translation_latency_stats.mean,
+            "page_table": self.page_table.stats() if self.page_table is not None else {},
+        }

@@ -1,0 +1,64 @@
+"""A large software-managed, in-DRAM TLB (part-of-memory TLB).
+
+Ryoo et al. propose a very large TLB that lives in main memory and is probed
+after the on-chip TLBs miss but before the page-table walk.  A hit costs one
+memory access (usually an LLC or DRAM access to the table); a miss adds that
+access on top of the walk.  Because the table is orders of magnitude larger
+than the on-chip TLBs, most walks are avoided for workloads whose hot set
+exceeds the L2 TLB reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.addresses import PAGE_SIZE_4K
+from repro.common.stats import Counter
+from repro.memhier.memory_system import MemoryAccessType
+
+
+class PartOfMemoryTLB:
+    """A software-managed TLB stored in a region of physical memory."""
+
+    ENTRY_SIZE = 16
+
+    def __init__(self, entries: int = 1 << 20, base_address: int = 1 << 44):
+        self.entries = entries
+        self.base_address = base_address
+        self._table: Dict[int, Tuple[int, int]] = {}
+        self.counters = Counter()
+
+    def _slot(self, virtual_address: int) -> int:
+        return (virtual_address // PAGE_SIZE_4K) % self.entries
+
+    def _slot_address(self, slot: int) -> int:
+        return self.base_address + slot * self.ENTRY_SIZE
+
+    def lookup(self, virtual_address: int, memory) -> Tuple[Optional[Tuple[int, int]], int]:
+        """Probe the in-memory table; returns ((physical, size) or None, latency)."""
+        slot = self._slot(virtual_address)
+        latency = memory.access_address(self._slot_address(slot), False, MemoryAccessType.PTW)
+        entry = self._table.get(slot)
+        vpn = virtual_address // PAGE_SIZE_4K
+        if entry is not None and entry[0] // PAGE_SIZE_4K == vpn:
+            self.counters.add("hits")
+            return (entry[1], PAGE_SIZE_4K), latency
+        self.counters.add("misses")
+        return None, latency
+
+    def fill(self, virtual_address: int, physical_base: int, memory) -> None:
+        """Install a translation (one memory write to the table)."""
+        slot = self._slot(virtual_address)
+        self._table[slot] = (virtual_address, physical_base)
+        memory.access_address(self._slot_address(slot), True, MemoryAccessType.PTW)
+        self.counters.add("fills")
+
+    def hit_rate(self) -> float:
+        """Hit fraction over all probes."""
+        hits = self.counters.get("hits")
+        total = hits + self.counters.get("misses")
+        return hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()

@@ -1,0 +1,50 @@
+"""Translation structures: page-table designs and alternative MMU schemes.
+
+This package contains every translation scheme in the paper's VirTool
+toolset (Table 2): the x86-64 radix page table with page-walk caches, the
+hash-based page tables (Elastic Cuckoo Hashing, HDC open addressing, the
+PowerPC-style chained hash table), Utopia's hybrid restrictive/flexible
+segments, RMM range translation with eager paging, the Midgard intermediate
+address space, direct segments and the virtual block interface.
+
+Each scheme implements the :class:`~repro.pagetables.base.PageTableBase`
+interface: the OS (MimicOS) inserts and removes mappings — recording the
+kernel work those updates cost — and the hardware MMU walks the structure,
+issuing memory requests through the simulated memory hierarchy so that
+translation-induced cache and DRAM interference is modelled.
+"""
+
+from repro.pagetables.base import (
+    FaultAllocation,
+    PageTableBase,
+    TranslationMapping,
+    WalkResult,
+)
+from repro.pagetables.cuckoo import ElasticCuckooPageTable
+from repro.pagetables.direct_segments import DirectSegmentTable
+from repro.pagetables.factory import build_page_table
+from repro.pagetables.hashchain import ChainedHashPageTable
+from repro.pagetables.hdc import OpenAddressingHashPageTable
+from repro.pagetables.midgard import MidgardTranslation
+from repro.pagetables.radix import PageWalkCache, RadixPageTable
+from repro.pagetables.rmm import RangeMemoryMapping
+from repro.pagetables.utopia import UtopiaTranslation
+from repro.pagetables.vbi import VirtualBlockInterface
+
+__all__ = [
+    "FaultAllocation",
+    "PageTableBase",
+    "TranslationMapping",
+    "WalkResult",
+    "ElasticCuckooPageTable",
+    "DirectSegmentTable",
+    "build_page_table",
+    "ChainedHashPageTable",
+    "OpenAddressingHashPageTable",
+    "MidgardTranslation",
+    "PageWalkCache",
+    "RadixPageTable",
+    "RangeMemoryMapping",
+    "UtopiaTranslation",
+    "VirtualBlockInterface",
+]

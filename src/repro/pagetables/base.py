@@ -1,0 +1,208 @@
+"""Common interface of every translation structure.
+
+Two actors use a page table:
+
+* **MimicOS** (software) inserts and removes mappings on page faults,
+  recording the kernel work each update costs into a
+  :class:`~repro.mimicos.ops.KernelRoutineTrace`.
+* **The MMU model** (hardware) walks the structure on TLB misses; every
+  probe of translation metadata is issued as a memory request through the
+  simulated memory hierarchy, so page-table accesses contend for cache
+  capacity and DRAM row buffers like any other access.
+
+Some schemes (Utopia, RMM eager paging) also take over *physical frame
+allocation* from the THP policy; they advertise this with
+``overrides_allocation`` and implement :meth:`PageTableBase.allocate_for_fault`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.addresses import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K, align_down
+from repro.common.stats import Counter
+from repro.memhier.memory_system import MemoryAccessType
+from repro.common.kernelops import KernelRoutineTrace
+
+
+@dataclass
+class TranslationMapping:
+    """A single installed translation."""
+
+    virtual_base: int
+    physical_base: int
+    page_size: int
+
+    def translate(self, virtual_address: int) -> int:
+        """Physical address for ``virtual_address`` (must lie inside this mapping)."""
+        return self.physical_base + (virtual_address - self.virtual_base)
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a hardware walk of the translation structure."""
+
+    found: bool
+    latency: int
+    memory_accesses: int
+    physical_base: int = 0
+    page_size: int = PAGE_SIZE_4K
+    #: Latency attributable to the scheme's frontend (Midgard) — 0 elsewhere.
+    frontend_latency: int = 0
+    #: Latency attributable to the backend / in-memory structure.
+    backend_latency: int = 0
+
+
+@dataclass
+class FaultAllocation:
+    """Physical frame chosen by a scheme that overrides allocation (Utopia, RMM)."""
+
+    address: int
+    page_size: int
+    zeroing_bytes: int = 0
+    #: Pages the scheme had to evict to make room (forces swap-outs, Fig. 20).
+    evicted_pages: List[Tuple[int, int]] = field(default_factory=list)
+    #: True when the scheme fell back to its flexible/conventional path.
+    fallback: bool = False
+
+
+class MemoryInterface:
+    """Minimal protocol the walker needs: ``access_address(addr, is_write, type)``.
+
+    :class:`repro.memhier.memory_system.MemoryHierarchy` satisfies it; tests
+    can pass a stub that returns a constant latency.
+    """
+
+    def access_address(self, address: int, is_write: bool = False,
+                       access_type: MemoryAccessType = MemoryAccessType.PTW,
+                       pc: int = 0) -> int:
+        raise NotImplementedError
+
+
+class _BumpFrameAllocator:
+    """Fallback allocator of page-table frames for standalone use in tests."""
+
+    def __init__(self, base: int = 1 << 40):
+        self._next = base
+
+    def __call__(self, trace: Optional[KernelRoutineTrace] = None) -> int:
+        address = self._next
+        self._next += PAGE_SIZE_4K
+        return address
+
+
+class PageTableBase:
+    """Base class of every translation structure."""
+
+    kind = "base"
+    #: True if the scheme takes over physical frame allocation on faults.
+    overrides_allocation = False
+    #: True if the scheme replaces the TLB hierarchy with its own lookaside
+    #: structures (Midgard); the MMU then calls :meth:`walk` directly.
+    replaces_tlbs = False
+
+    SUPPORTED_PAGE_SIZES = (PAGE_SIZE_4K, PAGE_SIZE_2M, PAGE_SIZE_1G)
+
+    def __init__(self, frame_allocator: Optional[Callable[..., int]] = None):
+        self.frame_allocator = frame_allocator or _BumpFrameAllocator()
+        self.counters = Counter()
+        #: Functional mapping store: virtual page base -> TranslationMapping.
+        self._mappings: Dict[int, TranslationMapping] = {}
+
+    # ------------------------------------------------------------------ #
+    # Software (MimicOS) interface
+    # ------------------------------------------------------------------ #
+    def insert(self, virtual_address: int, physical_address: int, page_size: int,
+               trace: Optional[KernelRoutineTrace] = None) -> None:
+        """Install a mapping; subclasses add structure-specific update work."""
+        if page_size not in self.SUPPORTED_PAGE_SIZES:
+            raise ValueError(f"unsupported page size {page_size}")
+        virtual_base = align_down(virtual_address, page_size)
+        physical_base = align_down(physical_address, page_size)
+        self._mappings[virtual_base] = TranslationMapping(virtual_base, physical_base, page_size)
+        self.counters.add("insertions")
+        self._insert_structure(virtual_base, physical_base, page_size, trace)
+
+    def remove(self, virtual_address: int,
+               trace: Optional[KernelRoutineTrace] = None) -> bool:
+        """Remove the mapping covering ``virtual_address``; returns True if found."""
+        mapping = self._find_mapping(virtual_address)
+        if mapping is None:
+            return False
+        del self._mappings[mapping.virtual_base]
+        self.counters.add("removals")
+        self._remove_structure(mapping, trace)
+        return True
+
+    def lookup(self, virtual_address: int) -> Optional[Tuple[int, int]]:
+        """Functional lookup: (physical base, page size) or None.
+
+        Used by MimicOS (khugepaged, swap daemon) — never by the hardware
+        walker, which must pay for memory accesses via :meth:`walk`.
+        """
+        mapping = self._find_mapping(virtual_address)
+        if mapping is None:
+            return None
+        return mapping.physical_base, mapping.page_size
+
+    def translate_functional(self, virtual_address: int) -> Optional[int]:
+        """Full functional translation to a physical address (or None)."""
+        mapping = self._find_mapping(virtual_address)
+        if mapping is None:
+            return None
+        return mapping.translate(virtual_address)
+
+    def mapped_pages(self) -> int:
+        """Number of installed mappings (of any size)."""
+        return len(self._mappings)
+
+    def mapped_bytes(self) -> int:
+        """Total bytes covered by installed mappings."""
+        return sum(m.page_size for m in self._mappings.values())
+
+    def _find_mapping(self, virtual_address: int) -> Optional[TranslationMapping]:
+        for page_size in self.SUPPORTED_PAGE_SIZES:
+            base = align_down(virtual_address, page_size)
+            mapping = self._mappings.get(base)
+            if mapping is not None and mapping.page_size == page_size:
+                return mapping
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Hardware (MMU) interface
+    # ------------------------------------------------------------------ #
+    def walk(self, virtual_address: int, memory: MemoryInterface) -> WalkResult:
+        """Hardware walk; must issue its metadata accesses through ``memory``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Optional allocation override (Utopia, RMM)
+    # ------------------------------------------------------------------ #
+    def allocate_for_fault(self, pid: int, virtual_address: int, vma,
+                           buddy, trace: Optional[KernelRoutineTrace] = None) -> FaultAllocation:
+        """Choose the physical frame for a fault (only if ``overrides_allocation``)."""
+        raise NotImplementedError(f"{self.kind} does not override allocation")
+
+    # ------------------------------------------------------------------ #
+    # Structure-specific hooks
+    # ------------------------------------------------------------------ #
+    def _insert_structure(self, virtual_base: int, physical_base: int, page_size: int,
+                          trace: Optional[KernelRoutineTrace]) -> None:
+        raise NotImplementedError
+
+    def _remove_structure(self, mapping: TranslationMapping,
+                          trace: Optional[KernelRoutineTrace]) -> None:
+        """Default removal cost: one metadata write."""
+        if trace is not None:
+            trace.new_op(f"{self.kind}_pt_remove", work_units=2)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Raw counter snapshot."""
+        return self.counters.as_dict()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mappings={len(self._mappings)})"

@@ -1,0 +1,88 @@
+"""Factory that builds a translation structure from a :class:`PageTableConfig`."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.config import PageTableConfig
+from repro.pagetables.base import PageTableBase
+from repro.pagetables.cuckoo import ElasticCuckooPageTable
+from repro.pagetables.direct_segments import DirectSegmentTable
+from repro.pagetables.hashchain import ChainedHashPageTable
+from repro.pagetables.hdc import OpenAddressingHashPageTable
+from repro.pagetables.midgard import MidgardTranslation
+from repro.pagetables.radix import RadixPageTable
+from repro.pagetables.rmm import RangeMemoryMapping
+from repro.pagetables.utopia import UtopiaTranslation
+from repro.pagetables.vbi import VirtualBlockInterface
+
+
+def build_page_table(config: PageTableConfig,
+                     frame_allocator: Optional[Callable[..., int]] = None,
+                     physical_memory_bytes: Optional[int] = None,
+                     restseg_base_address: int = 0) -> PageTableBase:
+    """Instantiate the translation scheme described by ``config``.
+
+    ``frame_allocator`` is the kernel's page-table-frame allocator (usually
+    the slab allocator's ``allocate_pt_frame``); ``physical_memory_bytes``
+    lets schemes that reserve bulk physical regions (hash tables, RestSegs)
+    scale their structures down for small simulated memories.
+    """
+    kind = config.kind
+    if kind == "radix":
+        return RadixPageTable(frame_allocator,
+                              pwc_entries=config.pwc_entries,
+                              pwc_associativity=config.pwc_associativity,
+                              pwc_latency=config.pwc_latency)
+    if kind == "ech":
+        return ElasticCuckooPageTable(frame_allocator,
+                                      ways=config.cuckoo_ways,
+                                      cwc_latency=config.cwc_latency)
+    if kind == "hdc":
+        table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
+        return OpenAddressingHashPageTable(frame_allocator,
+                                           table_size_bytes=table_bytes,
+                                           ptes_per_entry=config.ptes_per_entry)
+    if kind == "ht":
+        table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
+        return ChainedHashPageTable(frame_allocator,
+                                    table_size_bytes=table_bytes,
+                                    ptes_per_entry=config.ptes_per_entry)
+    if kind == "utopia":
+        restseg_bytes = config.restseg_size_bytes
+        if physical_memory_bytes is not None:
+            # Two RestSegs are instantiated (4 KB- and 2 MB-grained); keep
+            # their combined size within physical memory.  Experiments that
+            # sweep RestSeg coverage (Fig. 19/20) set the size explicitly.
+            restseg_bytes = min(restseg_bytes, physical_memory_bytes // 2)
+        return UtopiaTranslation(frame_allocator,
+                                 restseg_size_bytes=restseg_bytes,
+                                 restseg_associativity=config.restseg_associativity,
+                                 restseg_base_address=restseg_base_address,
+                                 tar_cache_latency=config.tar_cache_latency,
+                                 sf_cache_latency=config.sf_cache_latency)
+    if kind == "rmm":
+        return RangeMemoryMapping(frame_allocator,
+                                  rlb_entries=config.rlb_entries,
+                                  rlb_latency=config.rlb_latency,
+                                  eager_paging_max_order=config.eager_paging_max_order)
+    if kind == "midgard":
+        return MidgardTranslation(frame_allocator,
+                                  l1_vlb_entries=config.l1_vlb_entries,
+                                  l1_vlb_latency=config.l1_vlb_latency,
+                                  l2_vlb_entries=config.l2_vlb_entries,
+                                  l2_vlb_latency=config.l2_vlb_latency,
+                                  backend_levels=config.backend_levels)
+    if kind == "direct_segment":
+        return DirectSegmentTable(frame_allocator,
+                                  segment_size_bytes=config.direct_segment_size_bytes)
+    if kind == "vbi":
+        return VirtualBlockInterface(frame_allocator)
+    raise ValueError(f"unknown page table kind: {kind!r}")
+
+
+def _scaled_table_bytes(configured_bytes: int, physical_memory_bytes: Optional[int]) -> int:
+    """Keep bulk hash tables proportionate to small simulated memories."""
+    if physical_memory_bytes is None:
+        return configured_bytes
+    return min(configured_bytes, max(1 << 20, physical_memory_bytes // 16))

@@ -1,0 +1,26 @@
+"""Hash functions used by the hash-based translation structures.
+
+The schemes use different hash functions in the paper (ECH uses CityHash);
+for simulation purposes what matters is good mixing and determinism, so a
+64-bit multiplicative (splitmix-style) mixer parameterised by a per-way
+salt is used everywhere.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int, salt: int = 0) -> int:
+    """SplitMix64-style finalizer; deterministic, well-mixed 64-bit hash."""
+    z = (value + 0x9E3779B97F4A7C15 + salt * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def bucket_index(key: int, num_buckets: int, salt: int = 0) -> int:
+    """Map ``key`` to a bucket index in ``[0, num_buckets)``."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    return mix64(key, salt) % num_buckets

@@ -1,0 +1,12 @@
+"""Storage substrate: an MQSim-like multi-queue SSD latency model.
+
+The original artifact couples Virtuoso with MQSim to model the disk side of
+major page faults and swapping (Use Case 4 / Fig. 20).  This package
+provides a queueing latency model of a multi-channel NVMe SSD that serves
+the same role: it returns a latency in core cycles for every read/write
+request, including queueing delay when many requests arrive close together.
+"""
+
+from repro.storage.ssd import SSDModel, SSDRequestResult
+
+__all__ = ["SSDModel", "SSDRequestResult"]

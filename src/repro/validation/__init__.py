@@ -1,0 +1,14 @@
+"""Validation harness: compare Virtuoso and the baseline against the reference.
+
+The paper validates Virtuoso+Sniper against a real Xeon server (§7.2).  This
+package provides the equivalent machinery for the reproduction: run the same
+workload under the *reference* coupling (the stand-in for the real machine,
+see DESIGN.md §2), the *imitation* coupling (Virtuoso) and the *emulation*
+coupling (fixed-latency baseline Sniper), and compute the accuracy metrics
+the paper reports (IPC accuracy, L2 TLB MPKI accuracy, PTW-latency accuracy,
+page-fault-latency cosine similarity).
+"""
+
+from repro.validation.reference import ValidationResult, ValidationRun, run_validation
+
+__all__ = ["ValidationResult", "ValidationRun", "run_validation"]

@@ -1,0 +1,82 @@
+"""Run one workload under reference / imitation / emulation and compare them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.common.config import SimulationConfig, SystemConfig
+from repro.common.stats import accuracy, cosine_similarity
+from repro.core.report import SimulationReport
+from repro.core.virtuoso import Virtuoso
+
+
+@dataclass
+class ValidationRun:
+    """The three reports produced for one workload."""
+
+    workload: str
+    reference: SimulationReport
+    virtuoso: SimulationReport
+    baseline: SimulationReport
+
+
+@dataclass
+class ValidationResult:
+    """Accuracy metrics of one validation run (the Fig. 8-10 metrics)."""
+
+    workload: str
+    ipc_accuracy_virtuoso: float
+    ipc_accuracy_baseline: float
+    tlb_mpki_accuracy: float
+    ptw_latency_accuracy: float
+    fault_latency_cosine: float
+
+    @staticmethod
+    def from_run(run: ValidationRun) -> "ValidationResult":
+        """Compute the accuracy metrics from a validation run."""
+        reference, virtuoso, baseline = run.reference, run.virtuoso, run.baseline
+        fault_cosine = _fault_latency_cosine(reference, virtuoso)
+        return ValidationResult(
+            workload=run.workload,
+            ipc_accuracy_virtuoso=accuracy(virtuoso.ipc, reference.ipc),
+            ipc_accuracy_baseline=accuracy(baseline.ipc, reference.ipc),
+            tlb_mpki_accuracy=accuracy(virtuoso.l2_tlb_mpki, reference.l2_tlb_mpki),
+            ptw_latency_accuracy=accuracy(virtuoso.average_ptw_latency,
+                                          reference.average_ptw_latency),
+            fault_latency_cosine=fault_cosine,
+        )
+
+
+def _fault_latency_cosine(reference: SimulationReport,
+                          virtuoso: SimulationReport) -> float:
+    """Cosine similarity between the two runs' fault-latency time series."""
+    reference_samples = reference.fault_latency.samples
+    virtuoso_samples = virtuoso.fault_latency.samples
+    if not reference_samples or not virtuoso_samples:
+        return 1.0 if not reference_samples and not virtuoso_samples else 0.0
+    length = min(len(reference_samples), len(virtuoso_samples))
+    return cosine_similarity(reference_samples[:length], virtuoso_samples[:length])
+
+
+def _run_mode(config: SystemConfig, os_mode: str, workload_factory: Callable[[], object],
+              seed: int, max_instructions: Optional[int]) -> SimulationReport:
+    mode_config = config.with_simulation(replace(config.simulation, os_mode=os_mode))
+    system = Virtuoso(mode_config, seed=seed)
+    workload = workload_factory()
+    return system.run(workload, max_instructions=max_instructions)
+
+
+def run_validation(config: SystemConfig, workload_factory: Callable[[], object],
+                   workload_name: str, seed: int = 0,
+                   max_instructions: Optional[int] = None) -> ValidationRun:
+    """Run one workload under the three couplings with identical configurations.
+
+    ``workload_factory`` must build a fresh workload instance per call so the
+    three runs do not share mutable state.
+    """
+    reference = _run_mode(config, "reference", workload_factory, seed, max_instructions)
+    virtuoso = _run_mode(config, "imitation", workload_factory, seed, max_instructions)
+    baseline = _run_mode(config, "emulation", workload_factory, seed, max_instructions)
+    return ValidationRun(workload=workload_name, reference=reference,
+                         virtuoso=virtuoso, baseline=baseline)

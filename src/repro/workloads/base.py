@@ -1,0 +1,112 @@
+"""Workload abstraction: how benchmarks feed programs to Virtuoso.
+
+A workload owns two things: the address-space layout it needs (``setup``
+creates its VMAs through MimicOS's ``mmap``) and the dynamic instruction
+stream it executes (``instructions`` yields
+:class:`~repro.core.instructions.Instruction` records).  Workloads are
+synthetic but carry the memory-behaviour signature of the paper's benchmark
+suites: footprint, access irregularity, VMA layout and allocation pattern —
+the four properties the experiments depend on (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.addresses import PAGE_SIZE_4K
+from repro.common.rng import DeterministicRNG
+from repro.core.instructions import Instruction, InstructionKind
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mimicos.vma import VMAKind, VirtualMemoryArea
+
+#: Categories used by Fig. 1 and the workload registry.
+LONG_RUNNING = "long_running"
+SHORT_RUNNING = "short_running"
+
+
+class Workload:
+    """Base class of every synthetic workload."""
+
+    name = "workload"
+    category = LONG_RUNNING
+    #: When True, Virtuoso installs all translations before the measured run
+    #: (the paper's warm-up methodology for translation-focused studies).
+    prefault = False
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        """Create the workload's VMAs (and any file-backed page-cache state)."""
+        raise NotImplementedError
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        """Yield the workload's dynamic instruction stream."""
+        raise NotImplementedError
+
+    def prefault_addresses(self, process: Process) -> Iterator[int]:
+        """Addresses to pre-fault when ``prefault`` is True (page-strided)."""
+        for vma in process.vmas:
+            address = vma.start
+            while address < vma.end:
+                yield address
+                address += PAGE_SIZE_4K
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class StreamBuilder:
+    """Helper that turns address sequences into realistic instruction streams.
+
+    Real programs interleave loads/stores with address arithmetic and
+    branches; the builder emits ``compute_per_memory`` non-memory
+    instructions around every memory access and assigns PCs from a small
+    set of synthetic loop bodies so the IP-stride prefetcher and branch mix
+    behave sensibly.
+    """
+
+    def __init__(self, rng: DeterministicRNG, compute_per_memory: int = 2,
+                 write_fraction: float = 0.3, pc_base: int = 0x400000,
+                 pc_count: int = 32):
+        self.rng = rng
+        self.compute_per_memory = compute_per_memory
+        self.write_fraction = write_fraction
+        self.pc_base = pc_base
+        self.pc_count = pc_count
+        self._pc_cursor = 0
+
+    def _next_pc(self) -> int:
+        pc = self.pc_base + (self._pc_cursor % self.pc_count) * 4
+        self._pc_cursor += 1
+        return pc
+
+    def emit(self, addresses: Iterable[int],
+             writes: Optional[Iterable[bool]] = None) -> Iterator[Instruction]:
+        """Yield an instruction stream touching ``addresses`` in order."""
+        write_iter = iter(writes) if writes is not None else None
+        for address in addresses:
+            for index in range(self.compute_per_memory):
+                kind = InstructionKind.BRANCH if index == self.compute_per_memory - 1 \
+                    else InstructionKind.ALU
+                yield Instruction(kind=kind, pc=self._next_pc())
+            if write_iter is not None:
+                is_write = next(write_iter, False)
+            else:
+                is_write = self.rng.random() < self.write_fraction
+            kind = InstructionKind.STORE if is_write else InstructionKind.LOAD
+            yield Instruction(kind=kind, pc=self._next_pc(), memory_address=address)
+
+
+def strided_addresses(start: int, count: int, stride: int) -> Iterator[int]:
+    """A simple strided address sequence."""
+    for index in range(count):
+        yield start + index * stride
+
+
+def page_touch_addresses(vma: VirtualMemoryArea, page_size: int = PAGE_SIZE_4K,
+                         touches_per_page: int = 1) -> Iterator[int]:
+    """Touch every page of a VMA (the allocation-dominated access pattern)."""
+    address = vma.start
+    while address < vma.end:
+        for touch in range(touches_per_page):
+            yield address + touch * 64
+        address += page_size

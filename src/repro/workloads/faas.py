@@ -1,0 +1,128 @@
+"""Short-running Function-as-a-Service workloads (JSON, AES, IMG-RES, WCNT, DB).
+
+FaaS functions run for well under a second, so system-software costs —
+above all physical-memory allocation in the page-fault handler — are never
+amortised (Fig. 1 shows ~32 % of their time in allocation).  The workloads
+here mirror that structure: a burst of ``mmap`` allocations at invocation,
+first-touch faults over most of the allocated pages, a modest amount of
+compute per touched page, and exit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.addresses import KB, MB, PAGE_SIZE_4K
+from repro.common.rng import DeterministicRNG
+from repro.core.instructions import Instruction, InstructionKind
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mimicos.vma import VMAKind
+from repro.workloads.base import SHORT_RUNNING, Workload
+
+
+class FaaSWorkload(Workload):
+    """Base class: allocate buffers, fault them in, do some per-page compute."""
+
+    category = SHORT_RUNNING
+    prefault = False
+
+    #: (size, file-backed?) of each buffer the function allocates.
+    BUFFERS: Tuple[Tuple[int, bool], ...] = ((4 * MB, False),)
+    #: Compute instructions per touched cache line.
+    COMPUTE_PER_LINE = 4
+    #: Fraction of each buffer actually touched.
+    TOUCH_FRACTION = 1.0
+    #: Cache-line touches per page.
+    TOUCHES_PER_PAGE = 2
+
+    def __init__(self, name: str, seed: int = 41, scale: float = 1.0):
+        self.name = name
+        self.seed = seed
+        self.scale = scale
+        self._vmas: List = []
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        self._vmas = []
+        for index, (size, file_backed) in enumerate(self.BUFFERS):
+            scaled = max(PAGE_SIZE_4K, int(size * self.scale))
+            kind = VMAKind.FILE_BACKED if file_backed else VMAKind.ANONYMOUS
+            vma = kernel.mmap(process, scaled, kind=kind,
+                              name=f"{self.name}-buf{index}",
+                              populate_page_cache=file_backed)
+            self._vmas.append(vma)
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        rng = DeterministicRNG(self.seed)
+
+        def stream() -> Iterator[Instruction]:
+            for vma in self._vmas:
+                pages = max(1, int((vma.size // PAGE_SIZE_4K) * self.TOUCH_FRACTION))
+                for page in range(pages):
+                    base = vma.start + page * PAGE_SIZE_4K
+                    for touch in range(self.TOUCHES_PER_PAGE):
+                        for compute in range(self.COMPUTE_PER_LINE):
+                            kind = (InstructionKind.BRANCH if compute == 0
+                                    else InstructionKind.ALU)
+                            yield Instruction(kind=kind, pc=0x420000 + compute * 4)
+                        is_write = rng.random() < 0.5
+                        kind = InstructionKind.STORE if is_write else InstructionKind.LOAD
+                        yield Instruction(kind=kind, pc=0x421000 + touch * 4,
+                                          memory_address=base + touch * 64)
+
+        return stream()
+
+
+class JSONWorkload(FaaSWorkload):
+    """JSON deserialisation: parse an input buffer into freshly allocated objects."""
+
+    BUFFERS = ((2 * MB, True), (6 * MB, False))
+    COMPUTE_PER_LINE = 6
+    TOUCHES_PER_PAGE = 3
+
+    def __init__(self, seed: int = 41, scale: float = 1.0):
+        super().__init__(name="JSON", seed=seed, scale=scale)
+
+
+class AESWorkload(FaaSWorkload):
+    """AES encryption of a payload: compute-heavy, streaming over two buffers."""
+
+    BUFFERS = ((4 * MB, True), (4 * MB, False))
+    COMPUTE_PER_LINE = 10
+    TOUCHES_PER_PAGE = 2
+
+    def __init__(self, seed: int = 43, scale: float = 1.0):
+        super().__init__(name="AES", seed=seed, scale=scale)
+
+
+class ImageResizeWorkload(FaaSWorkload):
+    """Image resizing: read a decoded image, write a smaller output image."""
+
+    BUFFERS = ((8 * MB, True), (2 * MB, False))
+    COMPUTE_PER_LINE = 8
+    TOUCHES_PER_PAGE = 2
+
+    def __init__(self, seed: int = 47, scale: float = 1.0):
+        super().__init__(name="IMG-RES", seed=seed, scale=scale)
+
+
+class WordCountWorkload(FaaSWorkload):
+    """Word count of a document: stream the input, update a small hash table."""
+
+    BUFFERS = ((6 * MB, True), (1 * MB, False))
+    COMPUTE_PER_LINE = 5
+    TOUCHES_PER_PAGE = 2
+
+    def __init__(self, seed: int = 53, scale: float = 1.0):
+        super().__init__(name="WCNT", seed=seed, scale=scale)
+
+
+class DBFilterWorkload(FaaSWorkload):
+    """Database filter query: scan a file-backed table, materialise matching rows."""
+
+    BUFFERS = ((10 * MB, True), (2 * MB, False))
+    COMPUTE_PER_LINE = 4
+    TOUCHES_PER_PAGE = 1
+
+    def __init__(self, seed: int = 59, scale: float = 1.0):
+        super().__init__(name="DB", seed=seed, scale=scale)

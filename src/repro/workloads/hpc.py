@@ -1,0 +1,86 @@
+"""HPC workloads: XSBench-like cross-section lookup and GUPS random access.
+
+XSBench performs random lookups into large nuclide-grid tables (binary
+search over sorted energy grids followed by gathers), which makes it
+translation-bound like the graph kernels but with a different mix of
+sequential and random accesses.  GUPS (``randacc``) is re-exported from the
+synthetic module because the paper treats it as a first-class workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.addresses import MB
+from repro.common.rng import DeterministicRNG
+from repro.core.instructions import Instruction, InstructionKind
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mimicos.vma import VMAKind
+from repro.workloads.base import LONG_RUNNING, Workload
+from repro.workloads.synthetic import RandomAccessWorkload
+
+
+class XSBenchWorkload(Workload):
+    """Monte-Carlo neutron-transport macroscopic cross-section lookups."""
+
+    category = LONG_RUNNING
+
+    def __init__(self, name: str = "XS", footprint_bytes: int = 96 * MB,
+                 lookups: int = 4_000, gridpoints_per_lookup: int = 5,
+                 prefault: bool = True, seed: int = 23):
+        self.name = name
+        self.footprint_bytes = footprint_bytes
+        self.lookups = lookups
+        self.gridpoints_per_lookup = gridpoints_per_lookup
+        self.prefault = prefault
+        self.seed = seed
+        self._grid_vma = None
+        self._index_vma = None
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        grid_bytes = (self.footprint_bytes * 3) // 4
+        index_bytes = self.footprint_bytes - grid_bytes
+        self._grid_vma = kernel.mmap(process, grid_bytes, kind=VMAKind.ANONYMOUS,
+                                     name=f"{self.name}-nuclide-grid")
+        self._index_vma = kernel.mmap(process, index_bytes, kind=VMAKind.ANONYMOUS,
+                                      name=f"{self.name}-energy-index")
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        rng = DeterministicRNG(self.seed)
+        grid, index = self._grid_vma, self._index_vma
+
+        def stream() -> Iterator[Instruction]:
+            index_slots = max(1, (index.size - 64) // 64)
+            grid_slots = max(1, (grid.size - 64) // 64)
+            for lookup in range(self.lookups):
+                # Binary search over the energy index: log2(slots) dependent loads.
+                probes = max(4, index_slots.bit_length())
+                position = index_slots // 2
+                step = max(1, index_slots // 4)
+                for probe in range(probes):
+                    yield Instruction(kind=InstructionKind.ALU, pc=0x410000 + probe * 4)
+                    yield Instruction(kind=InstructionKind.LOAD, pc=0x410100 + probe * 4,
+                                      memory_address=index.start + position * 64)
+                    position = (position + step) % index_slots if rng.random() < 0.5 \
+                        else abs(position - step) % index_slots
+                    step = max(1, step // 2)
+                # Gather the cross-section data for a handful of nuclides.
+                for gather in range(self.gridpoints_per_lookup):
+                    slot = rng.randint(0, grid_slots - 1)
+                    yield Instruction(kind=InstructionKind.ALU, pc=0x411000 + gather * 4)
+                    yield Instruction(kind=InstructionKind.LOAD, pc=0x411100 + gather * 4,
+                                      memory_address=grid.start + slot * 64)
+                yield Instruction(kind=InstructionKind.BRANCH, pc=0x412000)
+
+        return stream()
+
+
+class GUPSWorkload(RandomAccessWorkload):
+    """The HPCC RandomAccess (GUPS) benchmark: alias of the random-access kernel."""
+
+    def __init__(self, footprint_bytes: int = 64 * MB, memory_operations: int = 20_000,
+                 prefault: bool = False, seed: int = 29):
+        super().__init__(name="RND", footprint_bytes=footprint_bytes,
+                         memory_operations=memory_operations,
+                         write_fraction=0.5, prefault=prefault, seed=seed)

@@ -1,0 +1,142 @@
+"""Synthetic access-pattern workloads: the building blocks of the suite.
+
+``randacc`` (the GUPS-style random-access kernel the paper uses as its
+worst case for page-fault frequency), sequential streaming, strided access
+and pointer chasing.  The higher-level suites (graph, HPC, LLM) compose
+these patterns with realistic VMA layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.addresses import MB, PAGE_SIZE_4K
+from repro.common.rng import DeterministicRNG
+from repro.core.instructions import Instruction
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.mimicos.vma import VMAKind
+from repro.workloads.base import LONG_RUNNING, StreamBuilder, Workload
+
+
+class RandomAccessWorkload(Workload):
+    """GUPS-style uniform random accesses over one large anonymous VMA.
+
+    This is the paper's ``randacc``: the highest page-faults-per-kilo-
+    instruction workload (every access can touch a new page) and, once the
+    address space is warm, a TLB-hostile access pattern.
+    """
+
+    category = LONG_RUNNING
+
+    def __init__(self, name: str = "RND", footprint_bytes: int = 64 * MB,
+                 memory_operations: int = 20_000, compute_per_memory: int = 2,
+                 write_fraction: float = 0.25, prefault: bool = False, seed: int = 1):
+        self.name = name
+        self.footprint_bytes = footprint_bytes
+        self.memory_operations = memory_operations
+        self.compute_per_memory = compute_per_memory
+        self.write_fraction = write_fraction
+        self.prefault = prefault
+        self.seed = seed
+        self._vma = None
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
+                                name=f"{self.name}-heap")
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        rng = DeterministicRNG(self.seed)
+        builder = StreamBuilder(rng.fork(1), self.compute_per_memory, self.write_fraction)
+        vma = self._vma
+
+        def addresses() -> Iterator[int]:
+            span = vma.size - 64
+            for _ in range(self.memory_operations):
+                yield vma.start + rng.randint(0, span)
+
+        return builder.emit(addresses())
+
+
+class SequentialWorkload(Workload):
+    """Streaming sequential access over one VMA (prefetcher- and TLB-friendly)."""
+
+    category = LONG_RUNNING
+
+    def __init__(self, name: str = "STREAM", footprint_bytes: int = 32 * MB,
+                 memory_operations: int = 20_000, stride: int = 64,
+                 compute_per_memory: int = 2, prefault: bool = False, seed: int = 2):
+        self.name = name
+        self.footprint_bytes = footprint_bytes
+        self.memory_operations = memory_operations
+        self.stride = stride
+        self.compute_per_memory = compute_per_memory
+        self.prefault = prefault
+        self.seed = seed
+        self._vma = None
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
+                                name=f"{self.name}-heap")
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        rng = DeterministicRNG(self.seed)
+        builder = StreamBuilder(rng, self.compute_per_memory, write_fraction=0.2)
+        vma = self._vma
+
+        def addresses() -> Iterator[int]:
+            offset = 0
+            for _ in range(self.memory_operations):
+                yield vma.start + offset
+                offset = (offset + self.stride) % (vma.size - 64)
+
+        return builder.emit(addresses())
+
+
+class StridedWorkload(SequentialWorkload):
+    """Large-stride access (one touch per page), the worst case for TLB reach."""
+
+    def __init__(self, name: str = "STRIDE", footprint_bytes: int = 64 * MB,
+                 memory_operations: int = 20_000, stride: int = PAGE_SIZE_4K,
+                 compute_per_memory: int = 2, prefault: bool = False, seed: int = 3):
+        super().__init__(name=name, footprint_bytes=footprint_bytes,
+                         memory_operations=memory_operations, stride=stride,
+                         compute_per_memory=compute_per_memory, prefault=prefault,
+                         seed=seed)
+
+
+class PointerChaseWorkload(Workload):
+    """Dependent random accesses (linked-list traversal): no MLP, TLB-hostile."""
+
+    category = LONG_RUNNING
+
+    def __init__(self, name: str = "CHASE", footprint_bytes: int = 32 * MB,
+                 memory_operations: int = 15_000, compute_per_memory: int = 3,
+                 prefault: bool = False, seed: int = 4):
+        self.name = name
+        self.footprint_bytes = footprint_bytes
+        self.memory_operations = memory_operations
+        self.compute_per_memory = compute_per_memory
+        self.prefault = prefault
+        self.seed = seed
+        self._vma = None
+
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
+                                name=f"{self.name}-nodes")
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        rng = DeterministicRNG(self.seed)
+        builder = StreamBuilder(rng.fork(1), self.compute_per_memory, write_fraction=0.05)
+        vma = self._vma
+
+        def addresses() -> Iterator[int]:
+            # A deterministic pseudo-random permutation walk: the next node is
+            # a hash of the current one, so accesses are serially dependent.
+            current = 0
+            span_nodes = max(1, (vma.size - 64) // 64)
+            for _ in range(self.memory_operations):
+                yield vma.start + current * 64
+                current = (current * 0x9E3779B1 + 0x7F4A7C15) % span_nodes
+
+        return builder.emit(addresses())

@@ -1,0 +1,339 @@
+"""Tests for instructions, channels, instrumentation, the core model and couplings."""
+
+import pytest
+
+from repro.common.addresses import MB, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.config import CoreConfig, PageTableConfig, SimulationConfig
+from repro.common.kernelops import KernelOp, KernelRoutineTrace
+from repro.core.channels import (
+    FunctionalChannel,
+    InstructionStreamChannel,
+    PageFaultRequest,
+    PageFaultResponse,
+)
+from repro.core.cpu import CoreModel
+from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instrumentation import InstrumentationTool
+from repro.core.modes import (
+    EmulationCoupling,
+    FixedLatencyPageTable,
+    FullSystemCoupling,
+    ImitationCoupling,
+    ReferenceCoupling,
+    build_coupling,
+)
+from repro.memhier.memory_system import MemoryHierarchy
+from repro.mimicos.kernel import MimicOS
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import TLBHierarchy
+from repro.pagetables.radix import RadixPageTable
+from tests.conftest import FlatMemory, tiny_mimicos_config, tiny_system_config
+
+
+class TestInstructions:
+    def test_memory_predicates(self):
+        load = Instruction(InstructionKind.LOAD, memory_address=0x100)
+        store = Instruction(InstructionKind.STORE, memory_address=0x100)
+        alu = Instruction(InstructionKind.ALU)
+        assert load.is_memory and not load.is_write
+        assert store.is_memory and store.is_write
+        assert not alu.is_memory
+
+    def test_stream_accounting(self):
+        stream = InstructionStream("s")
+        stream.append(Instruction(InstructionKind.ALU))
+        stream.extend([Instruction(InstructionKind.LOAD, memory_address=0x0),
+                       Instruction(InstructionKind.STORE, memory_address=0x40)])
+        assert len(stream) == 3
+        assert stream.memory_instructions == 2
+
+
+class TestKernelTrace:
+    def test_trace_accumulates_ops(self):
+        trace = KernelRoutineTrace("do_page_fault")
+        op = trace.new_op("buddy_alloc", work_units=3)
+        op.touch(0x1000, is_write=True)
+        assert trace.total_work_units == 3
+        assert trace.total_memory_touches == 1
+        assert list(trace.iter_memory_touches()) == [(0x1000, True)]
+
+    def test_extend_inlines_callee(self):
+        outer = KernelRoutineTrace("outer")
+        inner = KernelRoutineTrace("inner")
+        inner.new_op("child", work_units=2)
+        inner.disk_latency_cycles = 50
+        outer.extend(inner)
+        assert outer.total_work_units == 2
+        assert outer.disk_latency_cycles == 50
+
+
+class TestChannels:
+    def test_functional_channel_roundtrip(self):
+        channel = FunctionalChannel()
+        request = PageFaultRequest(pid=1, virtual_address=0x1000)
+        sequence = channel.send_request(request)
+        received = channel.receive_request()
+        assert received is request
+        channel.send_response(PageFaultResponse(sequence=sequence, handled=True))
+        response = channel.receive_response(sequence)
+        assert response.handled
+        assert channel.receive_response(sequence) is None
+
+    def test_functional_channel_fifo_order(self):
+        channel = FunctionalChannel()
+        first = PageFaultRequest(pid=1, virtual_address=1)
+        second = PageFaultRequest(pid=1, virtual_address=2)
+        channel.send_request(first)
+        channel.send_request(second)
+        assert channel.receive_request() is first
+        assert channel.receive_request() is second
+        assert channel.receive_request() is None
+
+    def test_instruction_channel_appends_magic_terminator(self):
+        channel = InstructionStreamChannel()
+        stream = InstructionStream("pf")
+        stream.append(Instruction(InstructionKind.ALU))
+        channel.push(stream)
+        delivered = channel.pop()
+        assert delivered.instructions[-1].kind == InstructionKind.MAGIC
+        assert channel.total_instructions == 1
+        assert channel.pop() is None
+
+
+class TestInstrumentation:
+    def test_instruction_count_scales_with_work(self):
+        tool = InstrumentationTool()
+        small = KernelRoutineTrace("f")
+        small.new_op("buddy_alloc", work_units=1)
+        large = KernelRoutineTrace("f")
+        large.new_op("buddy_alloc", work_units=50)
+        assert len(tool.expand(large)) > len(tool.expand(small))
+
+    def test_memory_touches_become_memory_instructions(self):
+        tool = InstrumentationTool()
+        trace = KernelRoutineTrace("f")
+        op = trace.new_op("pt_update", work_units=2)
+        op.touch(0x1000, is_write=True)
+        op.touch(0x2000, is_write=False)
+        stream = tool.expand(trace)
+        memory_ops = [i for i in stream if i.is_memory]
+        assert len(memory_ops) == 2
+        assert {i.memory_address for i in memory_ops} == {0x1000, 0x2000}
+        assert all(i.is_kernel for i in stream)
+
+    def test_bulk_zeroing_stays_compact_but_expensive(self):
+        tool = InstrumentationTool()
+        trace = KernelRoutineTrace("f")
+        op = trace.new_op("zero_page", work_units=32768)
+        op.touch(0x1000, is_write=True)
+        stream = tool.expand(trace)
+        assert len(stream) < 100
+        assert any(i.repeat >= 32768 for i in stream)
+
+    def test_pathological_op_capped(self):
+        tool = InstrumentationTool()
+        trace = KernelRoutineTrace("f")
+        trace.new_op("ech_resize", work_units=10 ** 6)
+        stream = tool.expand(trace)
+        assert len(stream) <= tool.MAX_COMPUTE_PER_OP + 10
+
+    def test_full_system_factor_inflates_streams(self):
+        trace = KernelRoutineTrace("f")
+        trace.new_op("buddy_alloc", work_units=10)
+        normal = InstrumentationTool().expand(trace)
+        inflated = InstrumentationTool(full_system_factor=3.0).expand(trace)
+        assert len(inflated) > len(normal)
+
+    def test_memory_overhead_factors(self):
+        assert InstrumentationTool("online").host_memory_overhead_factor() > \
+            InstrumentationTool("offline").host_memory_overhead_factor()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            InstrumentationTool("telepathy")
+
+
+def build_core(config=None):
+    system = tiny_system_config()
+    memory = MemoryHierarchy.from_system_config(system)
+    tlbs = TLBHierarchy(system.l1i_tlb, system.l1d_tlb_4k, system.l1d_tlb_2m, system.l2_tlb)
+    mmu = MMU(tlbs, memory)
+    table = RadixPageTable()
+    mmu.set_context(1, table)
+    core = CoreModel(config or CoreConfig(), mmu, memory)
+    return core, mmu, table, memory
+
+
+class TestCoreModel:
+    def test_non_memory_instruction_costs_base_cpi(self):
+        core, _, _, _ = build_core()
+        consumed = core.execute(Instruction(InstructionKind.ALU))
+        assert consumed == pytest.approx(core.config.base_cpi)
+        assert core.instructions == 1
+
+    def test_memory_instruction_adds_stalls(self):
+        core, _, table, _ = build_core()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        consumed = core.execute(Instruction(InstructionKind.LOAD, memory_address=0x1000))
+        assert consumed > core.config.base_cpi
+        assert core.breakdown.translation_cycles > 0
+
+    def test_ipc_decreases_with_memory_intensity(self):
+        compute_core, _, _, _ = build_core()
+        for _ in range(200):
+            compute_core.execute(Instruction(InstructionKind.ALU))
+        memory_core, _, table, _ = build_core()
+        for index in range(200):
+            address = 0x1000 + index * PAGE_SIZE_4K
+            table.insert(address, 0xA000 + index * PAGE_SIZE_4K, PAGE_SIZE_4K)
+            memory_core.execute(Instruction(InstructionKind.LOAD, memory_address=address))
+        assert memory_core.ipc < compute_core.ipc
+
+    def test_kernel_stream_does_not_advance_core_cycles(self):
+        core, _, _, _ = build_core()
+        stream = InstructionStream("k")
+        stream.extend([Instruction(InstructionKind.ALU, is_kernel=True) for _ in range(10)])
+        consumed = core.execute_kernel_stream(stream)
+        assert consumed > 0
+        assert core.cycles == 0
+        assert core.kernel_instructions == 10
+        assert core.kernel_instruction_fraction() == 1.0
+
+    def test_kernel_memory_accesses_pollute_caches(self):
+        core, _, _, memory = build_core()
+        stream = InstructionStream("k")
+        stream.append(Instruction(InstructionKind.STORE, memory_address=0x9000, is_kernel=True))
+        core.execute_kernel_stream(stream)
+        assert memory.counters.get("requests_kernel_zero") == 1
+
+    def test_repeat_instruction_charges_per_iteration(self):
+        core, _, _, _ = build_core()
+        stream = InstructionStream("k")
+        stream.append(Instruction(InstructionKind.ALU, is_kernel=True, repeat=1000))
+        consumed = core.execute_kernel_stream(stream)
+        assert consumed >= 1000
+
+    def test_page_fault_latency_charged_once(self):
+        core, mmu, table, _ = build_core()
+
+        def fault(pid, vaddr):
+            table.insert(vaddr, 0xC000, PAGE_SIZE_4K)
+            return 700, True
+
+        mmu.set_fault_callback(fault)
+        core.execute(Instruction(InstructionKind.LOAD, memory_address=0x3000))
+        assert core.breakdown.fault_cycles == pytest.approx(700)
+        assert core.cycles > 700
+
+
+def build_kernel_and_core(os_mode="imitation", thp_policy="linux"):
+    kernel = MimicOS(tiny_mimicos_config(thp_policy=thp_policy), PageTableConfig())
+    core, mmu, table, memory = build_core()
+    simulation = SimulationConfig(os_mode=os_mode)
+    coupling = build_coupling(simulation, kernel, core)
+    return kernel, core, coupling
+
+
+class TestCouplings:
+    def test_build_coupling_factory(self):
+        kernel, core, _ = build_kernel_and_core()
+        assert isinstance(build_coupling(SimulationConfig(os_mode="imitation"), kernel, core),
+                          ImitationCoupling)
+        assert isinstance(build_coupling(SimulationConfig(os_mode="emulation"), kernel, core),
+                          EmulationCoupling)
+        assert isinstance(build_coupling(SimulationConfig(os_mode="full_system"), kernel, core),
+                          FullSystemCoupling)
+        assert isinstance(build_coupling(SimulationConfig(os_mode="reference"), kernel, core),
+                          ReferenceCoupling)
+        with pytest.raises(ValueError):
+            build_coupling(SimulationConfig(os_mode="psychic"), kernel, core)
+
+    def test_imitation_injects_kernel_instructions(self):
+        kernel, core, coupling = build_kernel_and_core("imitation")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 4 * MB)
+        latency, handled = coupling.handle_page_fault(process.pid, vma.start)
+        assert handled
+        assert latency > 0
+        assert core.kernel_instructions > 0
+        assert coupling.kernel_instructions_injected() > 0
+        assert coupling.fault_latency.count == 1
+
+    def test_emulation_charges_fixed_latency_without_injection(self):
+        kernel, core, coupling = build_kernel_and_core("emulation")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 4 * MB)
+        latency, handled = coupling.handle_page_fault(process.pid, vma.start)
+        assert handled
+        assert latency == coupling.simulation_config.fixed_page_fault_latency
+        assert core.kernel_instructions == 0
+
+    def test_emulation_latency_is_constant_across_faults(self):
+        kernel, core, coupling = build_kernel_and_core("emulation")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 16 * MB)
+        latencies = {coupling.handle_page_fault(process.pid,
+                                                vma.start + index * PAGE_SIZE_2M)[0]
+                     for index in range(4)}
+        assert len(latencies) == 1
+
+    def test_imitation_latency_varies_across_faults(self):
+        kernel, core, coupling = build_kernel_and_core("imitation", thp_policy="linux")
+        process = kernel.create_process("app")
+        huge_vma = kernel.mmap(process, 8 * MB)
+        small_vma = kernel.mmap(process, 64 * 1024)
+        huge_latency, _ = coupling.handle_page_fault(process.pid, huge_vma.start)
+        small_latency, _ = coupling.handle_page_fault(process.pid, small_vma.start)
+        assert huge_latency > small_latency * 5
+
+    def test_full_system_is_slower_than_imitation(self):
+        kernel_a, core_a, imitation = build_kernel_and_core("imitation")
+        kernel_b, core_b, full_system = build_kernel_and_core("full_system")
+        process_a = kernel_a.create_process("a")
+        process_b = kernel_b.create_process("b")
+        vma_a = kernel_a.mmap(process_a, 4 * MB)
+        vma_b = kernel_b.mmap(process_b, 4 * MB)
+        imitation.handle_page_fault(process_a.pid, vma_a.start)
+        full_system.handle_page_fault(process_b.pid, vma_b.start)
+        assert core_b.kernel_instructions > core_a.kernel_instructions
+
+    def test_segfault_reported_as_unhandled(self):
+        kernel, core, coupling = build_kernel_and_core("imitation")
+        process = kernel.create_process("app")
+        _, handled = coupling.handle_page_fault(process.pid, 0xDEAD_0000)
+        assert not handled
+
+    def test_reference_adds_noise_but_stays_positive(self):
+        kernel, core, coupling = build_kernel_and_core("reference")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 16 * MB)
+        latencies = [coupling.handle_page_fault(process.pid, vma.start + i * PAGE_SIZE_2M)[0]
+                     for i in range(4)]
+        assert all(latency > 0 for latency in latencies)
+        assert len(set(latencies)) > 1
+
+
+class TestFixedLatencyPageTable:
+    def test_walk_has_constant_latency_and_no_traffic(self):
+        inner = RadixPageTable()
+        inner.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        wrapper = FixedLatencyPageTable(inner, fixed_latency=50)
+        memory = FlatMemory()
+        result = wrapper.walk(0x1000, memory)
+        assert result.found
+        assert result.latency == 50
+        assert result.memory_accesses == 0
+        assert memory.accesses == []
+
+    def test_software_interface_delegates(self):
+        inner = RadixPageTable()
+        wrapper = FixedLatencyPageTable(inner, fixed_latency=50)
+        wrapper.insert(0x2000, 0xB000, PAGE_SIZE_4K)
+        assert inner.lookup(0x2000) == (0xB000, PAGE_SIZE_4K)
+        assert wrapper.lookup(0x2000) == (0xB000, PAGE_SIZE_4K)
+        assert wrapper.remove(0x2000)
+        assert inner.lookup(0x2000) is None
+
+    def test_walk_miss(self):
+        wrapper = FixedLatencyPageTable(RadixPageTable(), fixed_latency=50)
+        assert not wrapper.walk(0x5000, FlatMemory()).found

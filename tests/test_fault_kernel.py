@@ -1,0 +1,195 @@
+"""Tests for the page-fault handler and the MimicOS kernel as a whole."""
+
+import pytest
+
+from repro.common.addresses import MB, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.config import PageTableConfig, SSDConfig
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.vma import VMAKind
+from repro.storage.ssd import SSDModel
+from tests.conftest import tiny_mimicos_config
+
+
+def make_kernel(thp_policy="linux", pt_kind="radix", ssd=False, **overrides):
+    config = tiny_mimicos_config(thp_policy=thp_policy, **overrides)
+    ssd_model = SSDModel(SSDConfig()) if ssd else None
+    return MimicOS(config, PageTableConfig(kind=pt_kind), ssd=ssd_model)
+
+
+class TestPageFaultHandling:
+    def test_anonymous_fault_installs_translation(self):
+        kernel = make_kernel()
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 8 * MB)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert not result.segfault
+        assert process.page_table.lookup(vma.start) is not None
+        assert result.page_size in (PAGE_SIZE_4K, PAGE_SIZE_2M)
+
+    def test_fault_outside_any_vma_is_segfault(self):
+        kernel = make_kernel()
+        process = kernel.create_process("app")
+        result = kernel.handle_page_fault(process.pid, 0x1234_5678)
+        assert result.segfault
+        assert "deliver_sigsegv" in result.trace.op_names()
+
+    def test_unknown_pid_rejected(self):
+        kernel = make_kernel()
+        with pytest.raises(KeyError):
+            kernel.handle_page_fault(999, 0x1000)
+
+    def test_thp_enabled_uses_huge_pages(self):
+        kernel = make_kernel(thp_policy="linux")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 8 * MB)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert result.page_size == PAGE_SIZE_2M
+
+    def test_bd_policy_uses_small_pages(self):
+        kernel = make_kernel(thp_policy="bd")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 8 * MB)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert result.page_size == PAGE_SIZE_4K
+
+    def test_fault_trace_contains_fig6_steps(self):
+        kernel = make_kernel(thp_policy="bd")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 1 * MB)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        names = result.trace.op_names()
+        assert "fault_entry" in names
+        assert "find_vma" in names
+        assert "buddy_alloc" in names
+        assert "zero_page" in names
+        assert "fault_return" in names
+
+    def test_huge_fault_has_larger_trace_than_small_fault(self):
+        kernel_small = make_kernel(thp_policy="bd")
+        kernel_huge = make_kernel(thp_policy="linux")
+        process_small = kernel_small.create_process("a")
+        process_huge = kernel_huge.create_process("b")
+        vma_small = kernel_small.mmap(process_small, 8 * MB)
+        vma_huge = kernel_huge.mmap(process_huge, 8 * MB)
+        small = kernel_small.handle_page_fault(process_small.pid, vma_small.start)
+        huge = kernel_huge.handle_page_fault(process_huge.pid, vma_huge.start)
+        assert huge.trace.total_work_units > small.trace.total_work_units * 10
+
+    def test_hugetlb_vma_served_from_pool(self):
+        kernel = make_kernel(hugetlbfs_reserved_bytes=8 * MB)
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 4 * MB, kind=VMAKind.HUGETLB)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert result.page_size == PAGE_SIZE_2M
+        assert kernel.hugetlbfs.counters.get("allocations") == 1
+
+    def test_file_backed_fault_hits_prepopulated_page_cache(self):
+        kernel = make_kernel()
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 2 * MB, kind=VMAKind.FILE_BACKED,
+                          populate_page_cache=True)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert not result.is_major
+        assert result.disk_latency_cycles == 0
+
+    def test_file_backed_fault_misses_page_cache_and_goes_to_disk(self):
+        kernel = make_kernel(ssd=True)
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 2 * MB, kind=VMAKind.FILE_BACKED)
+        result = kernel.handle_page_fault(process.pid, vma.start)
+        assert result.is_major
+        assert result.disk_latency_cycles > 0
+
+    def test_repeated_faults_cover_the_vma(self):
+        kernel = make_kernel(thp_policy="bd")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 64 * PAGE_SIZE_4K)
+        for index in range(16):
+            kernel.handle_page_fault(process.pid, vma.start + index * PAGE_SIZE_4K)
+        assert process.page_table.mapped_pages() == 16
+
+    def test_fault_counters(self):
+        kernel = make_kernel(thp_policy="bd")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 1 * MB)
+        kernel.handle_page_fault(process.pid, vma.start)
+        stats = kernel.stats()
+        assert stats["fault_handler"]["page_faults"] == 1
+        assert stats["kernel"]["page_fault_requests"] == 1
+
+
+class TestSwapReclaim:
+    def test_memory_pressure_triggers_swapping(self):
+        kernel = make_kernel(thp_policy="linux", physical_memory_bytes=128 * MB,
+                             swap_size_bytes=32 * MB, swap_threshold=0.30, ssd=True)
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 96 * MB)
+        swapped = 0
+        for index in range(0, 96 * MB // PAGE_SIZE_2M):
+            result = kernel.handle_page_fault(process.pid, vma.start + index * PAGE_SIZE_2M)
+            swapped += result.swapped_out_pages
+            if swapped:
+                break
+        # The huge-page faults cross the 30 % threshold well before the VMA is
+        # fully touched, so reclaim must have swapped something out.
+        assert kernel.memory_usage <= 1.0
+        assert swapped > 0
+        assert kernel.swap.counters.get("swap_outs") > 0
+
+    def test_swapped_page_faults_back_in(self):
+        kernel = make_kernel(thp_policy="linux", physical_memory_bytes=128 * MB,
+                             swap_size_bytes=64 * MB, swap_threshold=0.25, ssd=True)
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 80 * MB)
+        for index in range(0, 80 * MB // PAGE_SIZE_2M):
+            kernel.handle_page_fault(process.pid, vma.start + index * PAGE_SIZE_2M)
+            if kernel.swap.counters.get("swap_outs") > 0:
+                break
+        assert kernel.swap.counters.get("swap_outs") > 0
+        # Fault one of the swapped pages back in.
+        swapped_key = next(iter(kernel.swap._slots))
+        swapped_vpn = swapped_key[1]
+        result = kernel.handle_page_fault(process.pid, swapped_vpn * PAGE_SIZE_4K)
+        assert result.is_major
+        assert kernel.swap.counters.get("swap_ins") == 1
+
+
+class TestKernelConfiguration:
+    def test_create_process_builds_configured_page_table(self):
+        kernel = make_kernel(pt_kind="ech")
+        process = kernel.create_process("app")
+        assert process.page_table.kind == "ech"
+
+    def test_mmap_registers_midgard_vmas(self):
+        kernel = make_kernel(pt_kind="midgard")
+        process = kernel.create_process("app")
+        kernel.mmap(process, 4 * MB)
+        assert process.page_table.counters.get("registered_vmas") == 1
+
+    def test_utopia_reserves_restseg_memory(self):
+        config = tiny_mimicos_config()
+        radix_kernel = MimicOS(config, PageTableConfig(kind="radix"))
+        utopia_kernel = MimicOS(config, PageTableConfig(kind="utopia",
+                                                        restseg_size_bytes=32 * MB))
+        assert utopia_kernel.buddy.total_bytes < radix_kernel.buddy.total_bytes
+
+    def test_fragment_memory_reaches_target(self):
+        kernel = make_kernel()
+        achieved = kernel.fragment_memory(0.6)
+        assert achieved <= 0.65
+
+    def test_munmap_releases_mappings(self):
+        kernel = make_kernel(thp_policy="bd")
+        process = kernel.create_process("app")
+        vma = kernel.mmap(process, 16 * PAGE_SIZE_4K)
+        for index in range(4):
+            kernel.handle_page_fault(process.pid, vma.start + index * PAGE_SIZE_4K)
+        removed = kernel.munmap(process, vma)
+        assert removed == 4
+        assert process.page_table.mapped_pages() == 0
+
+    def test_stats_cover_all_modules(self):
+        kernel = make_kernel()
+        stats = kernel.stats()
+        for module in ("kernel", "fault_handler", "buddy", "thp", "page_cache", "swap"):
+            assert module in stats

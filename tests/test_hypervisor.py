@@ -1,0 +1,84 @@
+"""Tests for virtualised execution: guest MimicOS on a hypervisor MimicOS."""
+
+import pytest
+
+from repro.common.addresses import MB, PAGE_SIZE_4K
+from repro.common.config import PageTableConfig
+from repro.mimicos.hypervisor import VirtualMachine
+from repro.mimicos.kernel import MimicOS
+from tests.conftest import FlatMemory, tiny_mimicos_config
+
+
+@pytest.fixture
+def host():
+    return MimicOS(tiny_mimicos_config(), PageTableConfig())
+
+
+@pytest.fixture
+def vm(host):
+    return VirtualMachine(host, guest_memory_bytes=128 * MB, name="vm0")
+
+
+class TestVirtualMachine:
+    def test_guest_ram_backed_by_host_vma(self, host, vm):
+        assert vm.guest_ram_vma.size == 128 * MB
+        assert vm.host_process.pid in host.processes
+
+    def test_guest_fault_allocates_guest_and_host_frames(self, vm):
+        process = vm.create_guest_process("guest-app")
+        vma = vm.guest_mmap(process, 8 * MB)
+        result = vm.handle_guest_page_fault(process.pid, vma.start)
+        assert not result.segfault
+        assert process.page_table.lookup(vma.start) is not None
+        # The guest-physical frame must be backed by a host translation.
+        host_virtual = vm.guest_physical_to_host_virtual(result.guest.physical_base)
+        assert vm.host_process.page_table.lookup(host_virtual) is not None
+        assert vm.counters.get("hypervisor_backing_faults") >= 1
+
+    def test_second_fault_on_backed_frame_skips_hypervisor(self, vm):
+        process = vm.create_guest_process()
+        vma = vm.guest_mmap(process, 8 * MB)
+        first = vm.handle_guest_page_fault(process.pid, vma.start)
+        backing_faults = vm.counters.get("hypervisor_backing_faults")
+        # A fault on a different guest page of the same (already backed)
+        # guest-physical huge frame requires no new hypervisor work.
+        second_address = vma.start + first.guest.page_size // 2
+        if process.page_table.lookup(second_address) is None:
+            vm.handle_guest_page_fault(process.pid, second_address)
+        assert vm.counters.get("hypervisor_backing_faults") >= backing_faults
+
+    def test_guest_segfault_propagates(self, vm):
+        process = vm.create_guest_process()
+        result = vm.handle_guest_page_fault(process.pid, 0xDEAD_0000)
+        assert result.segfault
+        assert result.host is None
+
+    def test_nested_fault_combines_both_kernels_work(self, vm):
+        process = vm.create_guest_process()
+        vma = vm.guest_mmap(process, 8 * MB)
+        result = vm.handle_guest_page_fault(process.pid, vma.start)
+        assert result.guest.trace.total_work_units > 0
+        assert result.host is not None
+        assert result.host.trace.total_work_units > 0
+        assert result.total_disk_latency_cycles >= 0
+
+    def test_nested_translation_unit_resolves_guest_virtual(self, vm):
+        process = vm.create_guest_process()
+        vma = vm.guest_mmap(process, 8 * MB)
+        vm.handle_guest_page_fault(process.pid, vma.start)
+        unit = vm.nested_translation_unit(process)
+        walk = unit.walk(vma.start, FlatMemory())
+        assert walk.found
+        assert walk.memory_accesses > 0
+
+    def test_two_vms_share_the_host(self, host):
+        first = VirtualMachine(host, guest_memory_bytes=128 * MB, name="vm1")
+        second = VirtualMachine(host, guest_memory_bytes=128 * MB, name="vm2")
+        process_a = first.create_guest_process()
+        process_b = second.create_guest_process()
+        vma_a = first.guest_mmap(process_a, 4 * MB)
+        vma_b = second.guest_mmap(process_b, 4 * MB)
+        result_a = first.handle_guest_page_fault(process_a.pid, vma_a.start)
+        result_b = second.handle_guest_page_fault(process_b.pid, vma_b.start)
+        assert not result_a.segfault and not result_b.segfault
+        assert len(host.processes) >= 2

@@ -1,0 +1,242 @@
+"""Tests for the cache, prefetcher, DRAM and memory-hierarchy models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig, DRAMConfig, PrefetcherConfig
+from repro.memhier.cache import Cache
+from repro.memhier.dram import DRAMModel
+from repro.memhier.memory_system import (
+    MemoryAccessType,
+    MemoryHierarchy,
+    MemoryRequest,
+)
+from repro.memhier.prefetcher import (
+    IPStridePrefetcher,
+    NullPrefetcher,
+    StreamPrefetcher,
+    build_prefetcher,
+)
+
+
+def small_cache(replacement="lru", size=4096, assoc=4, latency=2) -> Cache:
+    return Cache(CacheConfig("test", size_bytes=size, associativity=assoc,
+                             latency=latency, replacement=replacement))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0x1000)
+        second = cache.access(0x1000)
+        assert not first.hit and second.hit
+        assert cache.hits() == 1
+        assert cache.misses() == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1010).hit
+
+    def test_latency_reported(self):
+        cache = small_cache(latency=7)
+        assert cache.access(0x0).latency == 7
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(size=4 * 64, assoc=4)  # one set of 4 ways
+        for index in range(4):
+            cache.access(index * 64 * cache.num_sets)
+        cache.access(0)  # refresh line 0
+        cache.access(5 * 64 * cache.num_sets)  # evicts the LRU (line 1)
+        assert cache.probe(0)
+        assert not cache.probe(1 * 64 * cache.num_sets)
+
+    def test_srrip_eviction(self):
+        cache = small_cache(replacement="srrip", size=4 * 64, assoc=4)
+        for index in range(8):
+            cache.access(index * 64 * cache.num_sets)
+        assert cache.counters.get("evictions") == 4
+
+    def test_write_marks_dirty_and_eviction_reports_it(self):
+        cache = small_cache(size=1 * 64, assoc=1)
+        cache.access(0, is_write=True)
+        result = cache.access(64 * cache.num_sets)
+        assert result.evicted_dirty
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x2000)
+        assert cache.invalidate(0x2000)
+        assert not cache.probe(0x2000)
+        assert not cache.invalidate(0x2000)
+
+    def test_flush(self):
+        cache = small_cache()
+        for address in range(0, 1024, 64):
+            cache.access(address)
+        cache.flush()
+        assert not cache.probe(0)
+
+    def test_fill_does_not_count_as_demand(self):
+        cache = small_cache()
+        cache.fill(0x3000)
+        assert cache.accesses() == 0
+        assert cache.probe(0x3000)
+
+    def test_pollution_attribution(self):
+        cache = small_cache(size=1 * 64, assoc=1)
+        cache.access(0, request_type="data")
+        cache.access(64 * cache.num_sets, request_type="ptw")
+        assert cache.counters.get("pollution_evictions_by_ptw") == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_never_exceeds_capacity_property(self, addresses):
+        cache = small_cache(size=16 * 64, assoc=4)
+        for address in addresses:
+            cache.access(address)
+        resident = sum(1 for lines in cache._sets for line in lines if line.valid)
+        assert resident <= 16
+        assert cache.hits() + cache.misses() == len(addresses)
+
+
+class TestPrefetchers:
+    def test_null_prefetcher(self):
+        assert NullPrefetcher().observe(0x1000, 0x400) == []
+
+    def test_ip_stride_detects_stride(self):
+        prefetcher = IPStridePrefetcher(PrefetcherConfig("ip_stride", degree=2))
+        pc = 0x400
+        assert prefetcher.observe(0x1000, pc) == []
+        assert prefetcher.observe(0x1040, pc) == []
+        assert prefetcher.observe(0x1080, pc) == []
+        candidates = prefetcher.observe(0x10C0, pc)
+        assert candidates == [0x1100, 0x1140]
+
+    def test_ip_stride_resets_on_irregular_pattern(self):
+        prefetcher = IPStridePrefetcher(PrefetcherConfig("ip_stride", degree=1))
+        pc = 0x400
+        prefetcher.observe(0x1000, pc)
+        prefetcher.observe(0x1040, pc)
+        assert prefetcher.observe(0x9000, pc) == []
+
+    def test_stream_prefetcher_trains_within_region(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig("stream", degree=2))
+        assert prefetcher.observe(0x2000, 0) == []
+        candidates = prefetcher.observe(0x2040, 0)
+        assert 0x2080 in candidates
+
+    def test_build_prefetcher_factory(self):
+        assert isinstance(build_prefetcher(None), NullPrefetcher)
+        assert isinstance(build_prefetcher(PrefetcherConfig("ip_stride")), IPStridePrefetcher)
+        assert isinstance(build_prefetcher(PrefetcherConfig("stream")), StreamPrefetcher)
+        with pytest.raises(ValueError):
+            build_prefetcher(PrefetcherConfig("magic"))
+
+
+class TestDRAM:
+    def make(self, policy="open") -> DRAMModel:
+        return DRAMModel(DRAMConfig(capacity_bytes=1 << 30, channels=2, ranks_per_channel=1,
+                                    banks_per_rank=4, page_policy=policy))
+
+    def test_row_hit_after_first_access(self):
+        dram = self.make()
+        first = dram.access(0x1000)
+        second = dram.access(0x1000)
+        assert not first.row_hit and second.row_hit
+        assert second.latency < first.latency
+
+    def test_row_conflict_latency_is_highest(self):
+        dram = self.make()
+        base = 0x0
+        conflicting = dram.config.row_size_bytes * dram.num_channels * dram.banks_per_channel * 8
+        dram.access(base)
+        result = dram.access(conflicting)
+        # Same bank, different row -> conflict.
+        assert result.row_conflict
+        assert result.latency == dram.config.row_conflict_latency
+
+    def test_closed_page_policy_never_hits(self):
+        dram = self.make(policy="closed")
+        dram.access(0x1000)
+        assert not dram.access(0x1000).row_hit
+
+    def test_conflict_attribution_by_request_type(self):
+        dram = self.make()
+        stride = dram.config.row_size_bytes * dram.num_channels * dram.banks_per_channel * 4
+        dram.access(0x0, request_type="data")
+        dram.access(stride, request_type="ptw")
+        assert dram.row_conflicts(caused_by="ptw") == 1
+        assert dram.translation_row_conflicts() == 1
+
+    def test_hit_rate(self):
+        dram = self.make()
+        dram.access(0)
+        dram.access(0)
+        assert dram.row_buffer_hit_rate() == pytest.approx(0.5)
+
+    def test_channel_interleaving(self):
+        dram = self.make()
+        channels = {dram.map_address(line * 64)[0] for line in range(8)}
+        assert channels == {0, 1}
+
+
+class TestMemoryHierarchy:
+    def build(self) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            l1_config=CacheConfig("L1", 4 * 1024, 4, 2),
+            l2_config=CacheConfig("L2", 16 * 1024, 4, 8),
+            l3_config=CacheConfig("L3", 64 * 1024, 8, 20),
+            dram_config=DRAMConfig(capacity_bytes=1 << 30),
+        )
+
+    def test_first_access_goes_to_dram(self):
+        hierarchy = self.build()
+        outcome = hierarchy.access(MemoryRequest(0x12345))
+        assert outcome.served_by == "DRAM"
+
+    def test_second_access_hits_l1(self):
+        hierarchy = self.build()
+        hierarchy.access(MemoryRequest(0x12345))
+        outcome = hierarchy.access(MemoryRequest(0x12345))
+        assert outcome.served_by == "L1"
+        assert outcome.latency == hierarchy.l1.latency
+
+    def test_latency_accumulates_down_the_hierarchy(self):
+        hierarchy = self.build()
+        outcome = hierarchy.access(MemoryRequest(0x777000))
+        expected_minimum = (hierarchy.l1.latency + hierarchy.l2.latency
+                            + hierarchy.l3.latency)
+        assert outcome.latency > expected_minimum
+
+    def test_request_type_tracking(self):
+        hierarchy = self.build()
+        hierarchy.access(MemoryRequest(0x1000, access_type=MemoryAccessType.PTW))
+        assert hierarchy.counters.get("requests_ptw") == 1
+
+    def test_access_address_convenience(self):
+        hierarchy = self.build()
+        latency = hierarchy.access_address(0x4000)
+        assert latency > 0
+
+    def test_flush_caches_forces_dram_again(self):
+        hierarchy = self.build()
+        hierarchy.access(MemoryRequest(0x9000))
+        hierarchy.flush_caches()
+        assert hierarchy.access(MemoryRequest(0x9000)).served_by == "DRAM"
+
+    def test_stats_structure(self):
+        hierarchy = self.build()
+        hierarchy.access(MemoryRequest(0x1))
+        stats = hierarchy.stats()
+        assert set(stats) == {"hierarchy", "l1", "l2", "l3", "dram"}
+
+    def test_from_system_config(self, system_config):
+        hierarchy = MemoryHierarchy.from_system_config(system_config)
+        assert hierarchy.l1.config.size_bytes == system_config.l1d_cache.size_bytes

@@ -1,0 +1,120 @@
+"""Tests for the deterministic RNG and the configuration dataclasses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import GB, MB, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.config import (
+    CASE_STUDY_PAGE_TABLES,
+    CacheConfig,
+    DRAMConfig,
+    MimicOSConfig,
+    PageTableConfig,
+    SystemConfig,
+    TLBConfig,
+    baseline_system_config,
+    real_system_reference_config,
+    scaled_system_config,
+)
+from repro.common.rng import DeterministicRNG
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRNG(42), DeterministicRNG(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a, b = DeterministicRNG(1), DeterministicRNG(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [b.randint(0, 10 ** 9) for _ in range(5)]
+
+    def test_fork_is_independent(self):
+        parent = DeterministicRNG(7)
+        fork_a = parent.fork(1)
+        fork_b = parent.fork(2)
+        assert fork_a.randint(0, 10 ** 9) != fork_b.randint(0, 10 ** 9)
+
+    def test_fork_deterministic(self):
+        assert DeterministicRNG(7).fork(3).randint(0, 1000) == \
+            DeterministicRNG(7).fork(3).randint(0, 1000)
+
+    @given(st.integers(min_value=1, max_value=10_000), st.floats(min_value=0.5, max_value=2.0))
+    def test_zipf_index_in_range_property(self, n, skew):
+        rng = DeterministicRNG(3)
+        for _ in range(20):
+            assert 0 <= rng.zipf_index(n, skew) < n
+
+    def test_zipf_skews_towards_low_indices(self):
+        rng = DeterministicRNG(5)
+        draws = [rng.zipf_index(1000, 1.0) for _ in range(2000)]
+        low = sum(1 for d in draws if d < 100)
+        assert low > len(draws) * 0.4
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRNG(9)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 3)
+        assert len(set(sample)) == 3
+
+
+class TestTLBConfig:
+    def test_sets(self):
+        config = TLBConfig("T", entries=64, associativity=4, latency=1)
+        assert config.sets == 16
+
+    def test_invalid_associativity(self):
+        with pytest.raises(ValueError):
+            TLBConfig("T", entries=10, associativity=3, latency=1)
+
+    def test_non_positive_entries(self):
+        with pytest.raises(ValueError):
+            TLBConfig("T", entries=0, associativity=1, latency=1)
+
+
+class TestCacheConfig:
+    def test_sets(self):
+        config = CacheConfig("L1", size_bytes=32 * 1024, associativity=8, latency=4)
+        assert config.sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", size_bytes=1000, associativity=8, latency=4)
+
+
+class TestDRAMConfig:
+    def test_latency_ordering(self):
+        config = DRAMConfig()
+        assert config.row_hit_latency < config.row_miss_latency < config.row_conflict_latency
+
+
+class TestSystemConfigs:
+    def test_baseline_config_matches_table4_shape(self):
+        config = baseline_system_config()
+        assert config.l2_tlb.entries == 2048
+        assert config.l2_tlb.associativity == 16
+        assert config.l1d_cache.size_bytes == 32 * 1024
+        assert config.mimicos.thp_policy == "linux"
+
+    def test_reference_config_uses_reference_mode(self):
+        config = real_system_reference_config()
+        assert config.simulation.os_mode == "reference"
+
+    def test_scaled_config_shrinks_structures(self):
+        base = baseline_system_config()
+        scaled = scaled_system_config(physical_memory_bytes=1 * GB)
+        assert scaled.l2_tlb.entries < base.l2_tlb.entries
+        assert scaled.l2_cache.size_bytes < base.l2_cache.size_bytes
+        assert scaled.mimicos.physical_memory_bytes == 1 * GB
+        assert scaled.l2_tlb.entries % scaled.l2_tlb.associativity == 0
+
+    def test_with_page_table_returns_new_config(self):
+        base = baseline_system_config()
+        ech = base.with_page_table(PageTableConfig(kind="ech"))
+        assert ech.page_table.kind == "ech"
+        assert base.page_table.kind == "radix"
+
+    def test_case_study_page_tables_cover_paper_designs(self):
+        for kind in ("radix", "ech", "hdc", "ht", "utopia", "rmm", "midgard"):
+            assert kind in CASE_STUDY_PAGE_TABLES
+            assert CASE_STUDY_PAGE_TABLES[kind].kind == kind

@@ -1,0 +1,215 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    LatencyDistribution,
+    RunningStats,
+    accuracy,
+    cosine_similarity,
+    geometric_mean,
+    mpki,
+    normalize,
+    percentile,
+    safe_ratio,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_scaled_vectors_are_similar(self):
+        assert cosine_similarity([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1], [1, 2])
+
+    def test_zero_vectors(self):
+        assert cosine_similarity([0, 0], [0, 0]) == 1.0
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+    def test_self_similarity_property(self, values):
+        assert cosine_similarity(values, values) == pytest.approx(1.0)
+
+
+class TestAccuracy:
+    def test_exact_estimate(self):
+        assert accuracy(10.0, 10.0) == 1.0
+
+    def test_half_error(self):
+        assert accuracy(5.0, 10.0) == pytest.approx(0.5)
+
+    def test_clamped_at_zero(self):
+        assert accuracy(100.0, 10.0) == 0.0
+
+    def test_zero_measured(self):
+        assert accuracy(0.0, 0.0) == 1.0
+        assert accuracy(1.0, 0.0) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=1e6),
+           st.floats(min_value=0.01, max_value=1e6))
+    def test_bounds_property(self, estimate, measured):
+        assert 0.0 <= accuracy(estimate, measured) <= 1.0
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_single(self):
+        assert geometric_mean([7.5]) == pytest.approx(7.5)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        assert percentile([5, 1, 9], 0.0) == 1
+        assert percentile([5, 1, 9], 1.0) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestNormalize:
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("hits")
+        counter.add("hits", 4)
+        assert counter.get("hits") == 5
+        assert counter.get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y", 1)
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+
+    def test_reset(self):
+        counter = Counter()
+        counter.add("x")
+        counter.reset()
+        assert counter.get("x") == 0
+
+
+class TestRunningStats:
+    def test_mean_and_extremes(self):
+        stats = RunningStats()
+        for value in [1.0, 2.0, 3.0]:
+            stats.add(value)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.total == 6.0
+
+    def test_variance(self):
+        stats = RunningStats()
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stats.add(value)
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.stddev == pytest.approx(2.0)
+
+    def test_merge_matches_single_stream(self):
+        merged = RunningStats()
+        a, b = RunningStats(), RunningStats()
+        for value in [1.0, 5.0, 9.0]:
+            a.add(value)
+            merged.add(value)
+        for value in [2.0, 4.0]:
+            b.add(value)
+            merged.add(value)
+        a.merge(b)
+        assert a.count == merged.count
+        assert a.mean == pytest.approx(merged.mean)
+        assert a.variance == pytest.approx(merged.variance)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_mean_matches_naive_property(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(sum(values) / len(values), rel=1e-6, abs=1e-6)
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        histogram = Histogram()
+        histogram.add("a")
+        histogram.add("a", 2)
+        histogram.add("b")
+        assert histogram.get("a") == 3
+        assert histogram.total == 4
+
+
+class TestLatencyDistribution:
+    def test_summary_of_empty(self):
+        dist = LatencyDistribution()
+        assert dist.summary()["count"] == 0
+
+    def test_basic_statistics(self):
+        dist = LatencyDistribution()
+        for value in [10, 20, 30, 40, 1000]:
+            dist.add(value)
+        assert dist.count == 5
+        assert dist.median == 30
+        assert dist.total == 1100
+        assert dist.stats.maximum == 1000
+
+    def test_tail_contribution(self):
+        dist = LatencyDistribution()
+        for value in [1, 1, 1, 1, 96]:
+            dist.add(value)
+        assert dist.tail_contribution(10) == pytest.approx(0.96)
+        assert dist.tail_contribution(1000) == 0.0
+
+    def test_max_samples_respected(self):
+        dist = LatencyDistribution(max_samples=10)
+        for value in range(100):
+            dist.add(float(value))
+        assert len(dist.samples) == 10
+        assert dist.count == 100
+
+
+class TestSmallHelpers:
+    def test_mpki(self):
+        assert mpki(10, 1000) == 10.0
+        assert mpki(10, 0) == 0.0
+
+    def test_safe_ratio(self):
+        assert safe_ratio(1, 2) == 0.5
+        assert safe_ratio(1, 0, default=-1.0) == -1.0

@@ -1,0 +1,305 @@
+"""Tests for the TLBs, the MMU, its extensions and nested translation."""
+
+import pytest
+
+from repro.common.addresses import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.common.config import CacheConfig, DRAMConfig, TLBConfig
+from repro.memhier.memory_system import MemoryHierarchy
+from repro.mmu.extensions import MMUExtensions
+from repro.mmu.mmu import MMU
+from repro.mmu.nested import NestedTranslationUnit
+from repro.mmu.pom_tlb import PartOfMemoryTLB
+from repro.mmu.tlb import TLB, TLBHierarchy
+from repro.mmu.tlb_prefetch import SequentialTLBPrefetcher
+from repro.mmu.victima import VictimaCacheTLB
+from repro.pagetables.radix import RadixPageTable
+from tests.conftest import FlatMemory
+
+
+def make_tlb(entries=16, associativity=4, latency=1, page_sizes=(PAGE_SIZE_4K,)):
+    return TLB(TLBConfig("T", entries=entries, associativity=associativity,
+                         latency=latency, page_sizes=page_sizes))
+
+
+def make_hierarchy():
+    return TLBHierarchy(
+        l1i=TLBConfig("L1I", 16, 4, 1),
+        l1d_4k=TLBConfig("L1D4K", 16, 4, 1),
+        l1d_2m=TLBConfig("L1D2M", 8, 4, 1, page_sizes=(PAGE_SIZE_2M,)),
+        l2=TLBConfig("L2", 64, 8, 8, page_sizes=(PAGE_SIZE_4K, PAGE_SIZE_2M)),
+    )
+
+
+def make_memory():
+    return MemoryHierarchy(
+        l1_config=CacheConfig("L1", 4 * 1024, 4, 2),
+        l2_config=CacheConfig("L2", 16 * 1024, 4, 8),
+        l3_config=CacheConfig("L3", 64 * 1024, 8, 20),
+        dram_config=DRAMConfig(capacity_bytes=1 << 30),
+    )
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(0x1000) is None
+        tlb.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        assert tlb.lookup(0x1000) == (0xA000, PAGE_SIZE_4K)
+        assert tlb.lookup(0x1FFF) == (0xA000, PAGE_SIZE_4K)
+
+    def test_unsupported_page_size_not_cached(self):
+        tlb = make_tlb(page_sizes=(PAGE_SIZE_4K,))
+        tlb.fill(0x20_0000, 0xB00000, PAGE_SIZE_2M)
+        assert tlb.lookup(0x20_0000) is None
+
+    def test_lru_eviction(self):
+        tlb = make_tlb(entries=4, associativity=4)
+        for index in range(4):
+            tlb.fill(index * PAGE_SIZE_4K * tlb.num_sets, index, PAGE_SIZE_4K)
+        tlb.lookup(0)  # refresh entry 0
+        tlb.fill(4 * PAGE_SIZE_4K * tlb.num_sets, 4, PAGE_SIZE_4K)
+        assert tlb.lookup(0) is not None
+        assert tlb.lookup(1 * PAGE_SIZE_4K * tlb.num_sets) is None
+
+    def test_invalidate_and_flush(self):
+        tlb = make_tlb()
+        tlb.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        tlb.invalidate(0x1000)
+        assert tlb.lookup(0x1000) is None
+        tlb.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        tlb.flush()
+        assert tlb.lookup(0x1000) is None
+
+    def test_miss_rate(self):
+        tlb = make_tlb()
+        tlb.lookup(0)
+        tlb.fill(0, 0, PAGE_SIZE_4K)
+        tlb.lookup(0)
+        assert tlb.miss_rate() == pytest.approx(0.5)
+
+
+class TestTLBHierarchy:
+    def test_fill_then_l1_hit(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        result = hierarchy.lookup_data(0x1000)
+        assert result.hit and result.level == "L1"
+
+    def test_l2_hit_promotes_to_l1(self):
+        hierarchy = make_hierarchy()
+        hierarchy.l2.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        first = hierarchy.lookup_data(0x1000)
+        second = hierarchy.lookup_data(0x1000)
+        assert first.level == "L2" and second.level == "L1"
+
+    def test_miss_counts_l2_misses(self):
+        hierarchy = make_hierarchy()
+        assert not hierarchy.lookup_data(0x5000).hit
+        assert hierarchy.l2_misses() == 1
+
+    def test_huge_page_goes_to_2m_l1(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0x20_0000, 0xB0_0000, PAGE_SIZE_2M)
+        result = hierarchy.lookup_data(0x20_0000 + 0x1234)
+        assert result.hit and result.page_size == PAGE_SIZE_2M
+
+    def test_gigabyte_translations_live_in_l2_only(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0x4000_0000, 0x8000_0000, PAGE_SIZE_1G)
+        result = hierarchy.lookup_data(0x4000_0000 + 999)
+        assert result.hit and result.level == "L2"
+
+    def test_instruction_path(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0x400000, 0xC00000, PAGE_SIZE_4K, instruction=True)
+        assert hierarchy.lookup_instruction(0x400000).hit
+
+    def test_latency_accumulates_on_l2_hit(self):
+        hierarchy = make_hierarchy()
+        hierarchy.l2.fill(0x1000, 0xA000, PAGE_SIZE_4K)
+        result = hierarchy.lookup_data(0x1000)
+        assert result.latency == hierarchy.l1d_4k.latency + hierarchy.l2.latency
+
+
+class TestMMU:
+    def make_mmu(self, extensions=None):
+        memory = make_memory()
+        mmu = MMU(make_hierarchy(), memory, extensions)
+        table = RadixPageTable()
+        mmu.set_context(pid=1, page_table=table)
+        return mmu, table, memory
+
+    def test_requires_context(self):
+        mmu = MMU(make_hierarchy(), make_memory())
+        with pytest.raises(RuntimeError):
+            mmu.access_data(0x1000)
+
+    def test_tlb_hit_path(self):
+        mmu, table, _ = self.make_mmu()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        mmu.access_data(0x1000)   # walk + fill
+        result = mmu.access_data(0x1040)
+        assert result.translation.tlb_hit
+        assert result.translation.physical_address == 0xA040
+
+    def test_walk_on_tlb_miss(self):
+        mmu, table, _ = self.make_mmu()
+        table.insert(0x2000, 0xB000, PAGE_SIZE_4K)
+        result = mmu.access_data(0x2000)
+        assert result.translation.walked
+        assert result.translation.physical_address == 0xB000
+        assert mmu.counters.get("page_walks") == 1
+        assert mmu.average_ptw_latency() > 0
+
+    def test_page_fault_invokes_callback_and_retries(self):
+        mmu, table, _ = self.make_mmu()
+        calls = []
+
+        def fault_callback(pid, vaddr):
+            calls.append((pid, vaddr))
+            table.insert(vaddr, 0xC000, PAGE_SIZE_4K)
+            return 500, True
+
+        mmu.set_fault_callback(fault_callback)
+        result = mmu.access_data(0x3000)
+        assert calls == [(1, 0x3000)]
+        assert result.translation.page_fault
+        assert result.translation.fault_latency == 500
+        assert result.translation.physical_address == 0xC000
+
+    def test_unhandled_fault_is_segfault(self):
+        mmu, _, _ = self.make_mmu()
+        mmu.set_fault_callback(lambda pid, vaddr: (0, False))
+        result = mmu.access_data(0x9000)
+        assert result.translation.segfault
+
+    def test_missing_callback_is_segfault(self):
+        mmu, _, _ = self.make_mmu()
+        result = mmu.access_data(0x9000)
+        assert result.translation.segfault
+
+    def test_instruction_access(self):
+        mmu, table, _ = self.make_mmu()
+        table.insert(0x400000, 0xD000, PAGE_SIZE_4K)
+        result = mmu.access_instruction(0x400000)
+        assert result.translation.physical_address == 0xD000
+
+    def test_data_access_uses_memory_hierarchy(self):
+        mmu, table, memory = self.make_mmu()
+        table.insert(0x5000, 0xE000, PAGE_SIZE_4K)
+        result = mmu.access_data(0x5000)
+        assert result.data_latency > 0
+        assert memory.counters.get("requests_data") == 1
+
+    def test_stats_shape(self):
+        mmu, table, _ = self.make_mmu()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        mmu.access_data(0x1000)
+        stats = mmu.stats()
+        assert "counters" in stats and "tlbs" in stats and "avg_ptw_latency" in stats
+
+
+class TestMMUExtensions:
+    def test_pom_tlb_hit_avoids_walk(self):
+        memory = make_memory()
+        mmu = MMU(make_hierarchy(), memory, MMUExtensions(pom_tlb=True))
+        table = RadixPageTable()
+        mmu.set_context(1, table)
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        mmu.access_data(0x1000)            # walk, fills POM-TLB and L2 TLB
+        mmu.tlbs.flush()                   # force on-chip TLB misses
+        mmu.access_data(0x1000)
+        assert mmu.counters.get("pom_tlb_hits") == 1
+        assert mmu.counters.get("page_walks") == 1
+
+    def test_victima_stores_and_serves_victims(self):
+        memory = make_memory()
+        mmu = MMU(make_hierarchy(), memory, MMUExtensions(victima=True))
+        table = RadixPageTable()
+        mmu.set_context(1, table)
+        # Install far more translations than the (64-entry) L2 TLB holds.
+        for index in range(200):
+            virtual = 0x7F00_0000_0000 + index * PAGE_SIZE_4K
+            table.insert(virtual, index * PAGE_SIZE_4K, PAGE_SIZE_4K)
+            mmu.access_data(virtual)
+        assert mmu.victima.counters.get("victims_stored") > 0
+
+    def test_tlb_prefetch_installs_next_page(self):
+        memory = make_memory()
+        mmu = MMU(make_hierarchy(), memory, MMUExtensions(tlb_prefetch=True))
+        table = RadixPageTable()
+        mmu.set_context(1, table)
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        table.insert(0x2000, 0xB000, PAGE_SIZE_4K)
+        mmu.access_data(0x1000)
+        # The next page's translation was prefetched into the L2 TLB.
+        assert mmu.tlbs.l2.lookup(0x2000) is not None
+
+    def test_prefetcher_standalone(self):
+        prefetcher = SequentialTLBPrefetcher(degree=2)
+        table = RadixPageTable()
+        hierarchy = make_hierarchy()
+        table.insert(0x2000, 0xB000, PAGE_SIZE_4K)
+        count = prefetcher.on_fill(0x1000, PAGE_SIZE_4K, table, hierarchy)
+        assert count == 1
+
+    def test_pom_tlb_standalone(self):
+        memory = make_memory()
+        pom = PartOfMemoryTLB(entries=1024)
+        pom.fill(0x1000, 0xA000, memory)
+        entry, latency = pom.lookup(0x1000, memory)
+        assert entry == (0xA000, PAGE_SIZE_4K)
+        assert latency > 0
+        assert pom.hit_rate() == 1.0
+
+    def test_victima_standalone(self):
+        memory = make_memory()
+        victima = VictimaCacheTLB(memory.l2)
+        victima.store_victim(0x1000, 0xA000, PAGE_SIZE_4K)
+        entry, _ = victima.lookup(0x1000)
+        assert entry == (0xA000, PAGE_SIZE_4K)
+
+
+class TestNestedTranslation:
+    def test_two_dimensional_walk(self):
+        guest = RadixPageTable()
+        host = RadixPageTable()
+        guest_virtual = 0x7F00_0000_0000
+        guest_physical = 0x10_0000
+        host_physical = 0x90_0000
+        guest.insert(guest_virtual, guest_physical, PAGE_SIZE_4K)
+        host.insert(guest_physical, host_physical, PAGE_SIZE_4K)
+        unit = NestedTranslationUnit(guest, host)
+        memory = FlatMemory()
+        result = unit.walk(guest_virtual, memory)
+        assert result.found
+        assert result.host_physical_base == host_physical
+        # The 2-D walk costs far more accesses than a single 4-level walk.
+        assert result.memory_accesses > 4
+
+    def test_nested_tlb_caches_translation(self):
+        guest, host = RadixPageTable(), RadixPageTable()
+        guest.insert(0x1000, 0x20_0000, PAGE_SIZE_4K)
+        host.insert(0x20_0000, 0x30_0000, PAGE_SIZE_4K)
+        unit = NestedTranslationUnit(guest, host)
+        memory = FlatMemory()
+        unit.walk(0x1000, memory)
+        cached = unit.walk(0x1000, memory)
+        assert cached.memory_accesses == 0
+        assert unit.counters.get("nested_tlb_hits") == 1
+
+    def test_guest_fault_propagates(self):
+        unit = NestedTranslationUnit(RadixPageTable(), RadixPageTable())
+        result = unit.walk(0x4000, FlatMemory())
+        assert not result.found and result.guest_fault
+
+    def test_mmu_uses_nested_unit(self):
+        memory = make_memory()
+        mmu = MMU(make_hierarchy(), memory, MMUExtensions(nested_translation=True))
+        guest, host = RadixPageTable(), RadixPageTable()
+        guest.insert(0x1000, 0x20_0000, PAGE_SIZE_4K)
+        host.insert(0x20_0000, 0x30_0000, PAGE_SIZE_4K)
+        mmu.set_context(1, guest)
+        mmu.set_nested_unit(NestedTranslationUnit(guest, host))
+        result = mmu.access_data(0x1000)
+        assert result.translation.physical_address == 0x30_0000
