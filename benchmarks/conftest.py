@@ -19,6 +19,12 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: always-on simulator-throughput smoke tests (KIPS regression gate)")
+
+
 def record_figure(name: str, text: str) -> Path:
     """Write a rendered figure/table to benchmarks/results/<name>.txt."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,138 @@
+"""KIPS throughput harness: the repo's simulator-performance trajectory.
+
+Measures simulated kilo-instructions per host-second (KIPS) for a fixed set
+of scenarios, once on the ``legacy`` engine (one ``Instruction`` object at a
+time — the pre-fast-path execution model) and once on the ``batch`` engine
+(array-backed chunks + the MMU's VPN translation cache).  Results are
+written to ``benchmarks/perf/BENCH_perf.json`` so the ``perf_smoke`` gate
+can detect host-throughput regressions.
+
+Both engines simulate the exact same system: the invariance tests in
+``tests/test_fast_engine.py`` assert that every simulated statistic
+(cycles, IPC, TLB/walk/fault counters) is bit-identical between them, so
+KIPS is the only number that moves.
+
+Run standalone from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/kips_harness.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.common.addresses import MB
+from repro.common.config import SystemConfig, scaled_system_config
+from repro.core.virtuoso import Virtuoso
+from repro.workloads import GUPSWorkload, LLMInferenceWorkload, SequentialWorkload
+
+BENCH_PATH = Path(__file__).parent / "BENCH_perf.json"
+
+#: Runs per (scenario, engine); the best run is recorded to damp host noise.
+REPEATS = 3
+
+#: Maximum tolerated regression of measured KIPS below the recorded value
+#: before the perf_smoke gate fails (30 % per the perf-trajectory policy).
+REGRESSION_TOLERANCE = 0.30
+
+#: KIPS of the *pre-fast-path* engine (seed tree, before the batch engine,
+#: VPN cache, hot counters and allocation-free memory path existed) measured
+#: on the same host and scenarios when this harness was introduced.  The
+#: in-repo "legacy" engine shares the layer-level optimisations, so these
+#: numbers preserve the true before/after of the fast-path work.
+#: Host-specific; refresh together with BENCH_perf.json.
+SEED_ENGINE_KIPS: Dict[str, float] = {
+    "gups_smoke": 69.5,
+    "sequential_stream": 97.1,
+    "llm_allocation": 221.5,
+}
+
+
+def perf_config(engine: str) -> SystemConfig:
+    """The small, fixed system configuration every scenario runs on."""
+    config = scaled_system_config(name=f"perf-{engine}",
+                                  physical_memory_bytes=256 * MB,
+                                  fragmentation_target=1.0)
+    return config.with_simulation(replace(config.simulation, engine=engine))
+
+
+#: Scenario name -> workload factory.  Factories return a *fresh* workload
+#: because workloads keep per-run VMA state.
+SCENARIOS: Dict[str, Callable[[], object]] = {
+    # GUPS-style random access over a prefaulted footprint: the TLB- and
+    # cache-hostile smoke scenario the perf gate watches.
+    "gups_smoke": lambda: GUPSWorkload(footprint_bytes=8 * MB, memory_operations=5000,
+                                       prefault=True, seed=1),
+    # Streaming sequential access: prefetcher- and fast-path-friendly.
+    "sequential_stream": lambda: SequentialWorkload(footprint_bytes=8 * MB,
+                                                    memory_operations=8000,
+                                                    prefault=True, seed=2),
+    # Token-by-token LLM inference: allocation/fault dominated, exercises the
+    # MimicOS kernel-stream injection path.
+    "llm_allocation": lambda: LLMInferenceWorkload("Bagel", scale=0.25),
+}
+
+
+def run_scenario(name: str, engine: str, repeats: int = REPEATS) -> Dict[str, float]:
+    """Run one scenario on one engine; returns the best-of-``repeats`` digest."""
+    factory = SCENARIOS[name]
+    config = perf_config(engine)
+    best = None
+    for _ in range(repeats):
+        system = Virtuoso(config, seed=7)
+        report = system.run(factory())
+        simulated = report.instructions + report.kernel_instructions
+        kips = simulated / 1000.0 / report.host_seconds if report.host_seconds > 0 else 0.0
+        if best is None or kips > best["kips"]:
+            best = {
+                "kips": round(kips, 1),
+                "instructions": report.instructions,
+                "kernel_instructions": report.kernel_instructions,
+                "host_seconds": round(report.host_seconds, 4),
+                "fast_hits": system.mmu.fast_hits,
+            }
+    return best
+
+
+def measure_all(repeats: int = REPEATS) -> Dict[str, object]:
+    """Measure every scenario on both engines and assemble the report."""
+    scenarios: Dict[str, object] = {}
+    for name in SCENARIOS:
+        before = run_scenario(name, "legacy", repeats)
+        after = run_scenario(name, "batch", repeats)
+        seed_kips = SEED_ENGINE_KIPS.get(name, 0.0)
+        scenarios[name] = {
+            "before_kips": before["kips"],
+            "after_kips": after["kips"],
+            "speedup": round(after["kips"] / before["kips"], 2) if before["kips"] else 0.0,
+            "pre_pr_seed_kips": seed_kips,
+            "speedup_vs_seed": round(after["kips"] / seed_kips, 2) if seed_kips else 0.0,
+            "simulated_instructions": after["instructions"] + after["kernel_instructions"],
+            "fast_hits": after["fast_hits"],
+            "before": before,
+            "after": after,
+        }
+    return {
+        "schema": "bench_perf/v1",
+        "engines": {"before": "legacy", "after": "batch"},
+        "repeats": repeats,
+        "host": {"python": platform.python_version(), "machine": platform.machine()},
+        "scenarios": scenarios,
+    }
+
+
+def main() -> None:
+    results = measure_all()
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+    for name, row in results["scenarios"].items():
+        print(f"  {name}: {row['before_kips']:.1f} -> {row['after_kips']:.1f} KIPS "
+              f"({row['speedup']}x)")
+
+
+if __name__ == "__main__":
+    main()

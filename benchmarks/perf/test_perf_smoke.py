@@ -1,0 +1,58 @@
+"""Always-on perf smoke gate: fail if GUPS KIPS regresses past tolerance.
+
+The gate compares the fast-engine GUPS throughput measured on this host
+against the value recorded in ``BENCH_perf.json`` and fails when it drops
+more than :data:`~benchmarks.perf.kips_harness.REGRESSION_TOLERANCE` (30 %)
+below the record.  Regenerate the record with::
+
+    PYTHONPATH=src python benchmarks/perf/kips_harness.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.perf.kips_harness import (
+    BENCH_PATH,
+    REGRESSION_TOLERANCE,
+    run_scenario,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_gups_kips_no_regression():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
+    recorded = json.loads(BENCH_PATH.read_text())
+    row = recorded["scenarios"]["gups_smoke"]
+    recorded_after = row["after_kips"]
+    recorded_before = row["before_kips"]
+    assert recorded_after > 0 and recorded_before > 0
+
+    # Normalise the recorded floor by this host's speed: the legacy engine is
+    # a stable workload, so (measured legacy / recorded legacy) scales the
+    # record onto the current machine and the gate only fires on genuine
+    # fast-path regressions, not on running the suite on slower hardware.
+    measured_before = run_scenario("gups_smoke", "legacy", repeats=2)
+    host_scale = min(1.0, measured_before["kips"] / recorded_before)
+
+    measured = run_scenario("gups_smoke", "batch")
+    floor = recorded_after * host_scale * (1.0 - REGRESSION_TOLERANCE)
+    assert measured["kips"] >= floor, (
+        f"GUPS smoke KIPS regressed: measured {measured['kips']:.1f}, "
+        f"recorded {recorded_after:.1f} (host scale {host_scale:.2f}), "
+        f"floor {floor:.1f} "
+        f"(>{REGRESSION_TOLERANCE:.0%} below the BENCH_perf.json record)")
+
+
+def test_fast_engine_beats_legacy_on_gups():
+    """The batch engine must stay meaningfully faster than the legacy engine."""
+    legacy = run_scenario("gups_smoke", "legacy", repeats=2)
+    batch = run_scenario("gups_smoke", "batch", repeats=2)
+    assert batch["fast_hits"] > 0, "VPN translation cache never hit on GUPS smoke"
+    assert batch["kips"] > legacy["kips"], (
+        f"batch engine ({batch['kips']:.1f} KIPS) is not faster than "
+        f"legacy ({legacy['kips']:.1f} KIPS)")

@@ -9,7 +9,6 @@ computes them the same way.
 from __future__ import annotations
 
 import math
-from collections import Counter as _Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -87,33 +86,74 @@ class Counter:
     Every hardware and OS model owns one of these; the analysis layer merges
     them into figure data.  Unknown counters read as zero, so models can add
     counters lazily.
+
+    Hot-loop counters can be incremented through *cells* obtained from
+    :meth:`hot`: a cell is a one-element list whose ``cell[0] += 1`` costs a
+    list index instead of a method call and dict hash.  Pending cell values
+    are folded into the named counts on every read, so :meth:`get` /
+    :meth:`as_dict` always observe exact totals regardless of which path
+    performed the increments.
     """
 
+    __slots__ = ("_counts", "_hot")
+
     def __init__(self) -> None:
-        self._counts: _Counter = _Counter()
+        self._counts: Dict[str, int] = {}
+        self._hot: Dict[str, List[int]] = {}
+
+    def hot(self, name: str) -> List[int]:
+        """Return the mutable accumulator cell for counter ``name``.
+
+        The same cell is returned for repeated calls, so models fetch it once
+        at construction time and increment ``cell[0]`` in their hot loops.
+        """
+        cell = self._hot.get(name)
+        if cell is None:
+            cell = self._hot[name] = [0]
+        return cell
+
+    def _fold(self) -> None:
+        counts = self._counts
+        for name, cell in self._hot.items():
+            pending = cell[0]
+            if pending:
+                counts[name] = counts.get(name, 0) + pending
+                cell[0] = 0
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counts[name] += amount
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (zero if never incremented)."""
+        if self._hot:
+            self._fold()
         return self._counts.get(name, 0)
 
     def merge(self, other: "Counter") -> None:
         """Add all of ``other``'s counts into this counter."""
-        self._counts.update(other._counts)
+        self._fold()
+        other._fold()
+        counts = self._counts
+        for name, value in other._counts.items():
+            counts[name] = counts.get(name, 0) + value
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters."""
+        if self._hot:
+            self._fold()
         return dict(self._counts)
 
     def reset(self) -> None:
         """Zero every counter."""
         self._counts.clear()
+        for cell in self._hot.values():
+            cell[0] = 0
 
     def __repr__(self) -> str:
-        return f"Counter({dict(self._counts)!r})"
+        self._fold()
+        return f"Counter({self._counts!r})"
 
 
 @dataclass

@@ -12,6 +12,13 @@ experiments measure:
 * injected MimicOS instructions execute on the same core and access memory
   through the same hierarchy, so kernel work both consumes cycles and
   pollutes the caches / DRAM row buffers.
+
+Two application execution paths exist: :meth:`CoreModel.execute` (one
+:class:`Instruction` object at a time, the compatibility path) and
+:meth:`CoreModel.execute_batch` (array-backed
+:class:`~repro.core.instructions.InstructionBatch` chunks, the fast path the
+orchestrator uses).  Both charge exactly the same cycles and counters, in
+the same order, so simulated results are bit-identical across engines.
 """
 
 from __future__ import annotations
@@ -21,12 +28,19 @@ from typing import Dict, Optional
 
 from repro.common.config import CoreConfig
 from repro.common.stats import Counter
-from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instructions import (
+    OP_LOAD,
+    OP_STORE,
+    Instruction,
+    InstructionBatch,
+    InstructionKind,
+    InstructionStream,
+)
 from repro.memhier.memory_system import MemoryAccessType, MemoryHierarchy, MemoryRequest
 from repro.mmu.mmu import MMU
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionBreakdown:
     """Cycle breakdown accumulated while executing instructions."""
 
@@ -49,6 +63,11 @@ class CoreModel:
         self.kernel_instructions: int = 0
         self.breakdown = ExecutionBreakdown()
         self.counters = Counter()
+        self._c_app_instructions = self.counters.hot("app_instructions")
+        self._c_memory_instructions = self.counters.hot("memory_instructions")
+        self._c_page_fault_instructions = self.counters.hot("page_fault_instructions")
+        self._c_kernel_instructions = self.counters.hot("kernel_instructions")
+        self._c_magic_instructions = self.counters.hot("magic_instructions")
 
     # ------------------------------------------------------------------ #
     # Application execution
@@ -58,14 +77,22 @@ class CoreModel:
         consumed = self.config.base_cpi
         self.breakdown.base_cycles += consumed
         self.instructions += 1
-        self.counters.add("app_instructions")
+        self._c_app_instructions[0] += 1
 
         if instruction.is_memory and instruction.memory_address is not None:
             outcome = self.mmu.access_data(instruction.memory_address,
                                            instruction.is_write, instruction.pc)
             translation = outcome.translation
             # Translation is on the critical path; the first cycle overlaps issue.
-            translation_penalty = max(0, translation.latency - translation.fault_latency - 1)
+            translation_penalty = translation.latency - translation.fault_latency - 1
+            if translation_penalty < 0:
+                # Only a zero-latency translation (nothing to overlap with the
+                # issue cycle) may go below zero; a translation latency smaller
+                # than its own fault component is an accounting bug.
+                assert translation.latency >= translation.fault_latency, (
+                    f"negative translation component for {instruction.memory_address:#x}: "
+                    f"latency={translation.latency} fault_latency={translation.fault_latency}")
+                translation_penalty = 0
             fault_penalty = translation.fault_latency
             data_penalty = self._data_penalty(outcome.data_latency, outcome.served_by)
 
@@ -73,12 +100,97 @@ class CoreModel:
             self.breakdown.translation_cycles += translation_penalty
             self.breakdown.fault_cycles += fault_penalty
             self.breakdown.data_stall_cycles += data_penalty
-            self.counters.add("memory_instructions")
+            self._c_memory_instructions[0] += 1
             if translation.page_fault:
-                self.counters.add("page_fault_instructions")
+                self._c_page_fault_instructions[0] += 1
 
         self.cycles += consumed
         return consumed
+
+    def execute_batch(self, batch: InstructionBatch, limit: Optional[int] = None) -> int:
+        """Execute up to ``limit`` instructions from an array-backed batch.
+
+        This is the hot loop of the simulator: state is held in locals and
+        written back exactly where the single-instruction path would observe
+        it (the MMU's fault callback re-enters the core through
+        :meth:`execute_kernel_stream` and reads ``self.cycles``), so results
+        are bit-identical to calling :meth:`execute` per instruction.
+        Returns the number of instructions executed.
+        """
+        kinds = batch.kinds
+        addresses = batch.addresses
+        pcs = batch.pcs
+        count = len(kinds)
+        if limit is not None and limit < count:
+            count = limit
+        if count <= 0:
+            return 0
+
+        config = self.config
+        base_cpi = config.base_cpi
+        exposed_fraction = 1.0 - config.mlp_factor
+        access_fast = self.mmu.access_data_fast
+        breakdown = self.breakdown
+
+        cycles = self.cycles
+        instructions = self.instructions
+        base_cycles = breakdown.base_cycles
+        translation_cycles = breakdown.translation_cycles
+        fault_cycles = breakdown.fault_cycles
+        data_stall_cycles = breakdown.data_stall_cycles
+        memory_count = 0
+        fault_count = 0
+
+        for index in range(count):
+            instructions += 1
+            base_cycles += base_cpi
+            address = addresses[index]
+            if address is None:
+                cycles += base_cpi
+                continue
+            op = kinds[index]
+            if op != OP_LOAD and op != OP_STORE:
+                cycles += base_cpi
+                continue
+
+            # Publish the state the page-fault path reads before re-entering
+            # the core (kernel-stream injection uses the current cycle count).
+            self.cycles = cycles
+            self.instructions = instructions
+            outcome = access_fast(address, op == OP_STORE, pcs[index])
+            translation = outcome.translation
+            translation_penalty = translation.latency - translation.fault_latency - 1
+            if translation_penalty < 0:
+                assert translation.latency >= translation.fault_latency, (
+                    f"negative translation component for {address:#x}: "
+                    f"latency={translation.latency} fault_latency={translation.fault_latency}")
+                translation_penalty = 0
+            fault_penalty = translation.fault_latency
+            served_by = outcome.served_by
+            if served_by == "L1" or served_by == "none":
+                data_penalty = 0.0
+            else:
+                exposed = outcome.data_latency - 4
+                data_penalty = exposed * exposed_fraction if exposed > 0 else 0.0
+
+            cycles += base_cpi + (translation_penalty + fault_penalty + data_penalty)
+            translation_cycles += translation_penalty
+            fault_cycles += fault_penalty
+            data_stall_cycles += data_penalty
+            memory_count += 1
+            if translation.page_fault:
+                fault_count += 1
+
+        self.cycles = cycles
+        self.instructions = instructions
+        breakdown.base_cycles = base_cycles
+        breakdown.translation_cycles = translation_cycles
+        breakdown.fault_cycles = fault_cycles
+        breakdown.data_stall_cycles = data_stall_cycles
+        self._c_app_instructions[0] += count
+        self._c_memory_instructions[0] += memory_count
+        self._c_page_fault_instructions[0] += fault_count
+        return count
 
     def _data_penalty(self, data_latency: int, served_by: str) -> float:
         """The part of the data-access latency the OoO window cannot hide."""
@@ -111,32 +223,48 @@ class CoreModel:
         latency of the triggering access, and :meth:`execute` charges them
         exactly once on the faulting instruction's critical path.
         """
+        base_cpi = self.config.base_cpi
+        exposed_fraction = 1.0 - self.config.mlp_factor
+        memory = self.memory
+        access_value = memory.access_value
+        magic = InstructionKind.MAGIC
+        load = InstructionKind.LOAD
+        store = InstructionKind.STORE
         consumed_total = 0.0
+        kernel_count = 0
+        kernel_cycles = self.breakdown.kernel_cycles
         for instruction in stream:
-            if instruction.kind == InstructionKind.MAGIC:
-                self.counters.add("magic_instructions")
+            kind = instruction.kind
+            if kind == magic:
+                self._c_magic_instructions[0] += 1
                 continue
             if instruction.repeat > 1:
                 # Bulk (rep-prefixed) operation: one cycle per repetition.
                 consumed = float(instruction.repeat)
             else:
-                consumed = self.config.base_cpi
-            if instruction.is_memory and instruction.memory_address is not None:
-                access_type = (MemoryAccessType.KERNEL_ZERO
-                               if instruction.is_write else MemoryAccessType.KERNEL)
-                outcome = self.memory.access(MemoryRequest(instruction.memory_address,
-                                                           instruction.is_write,
-                                                           access_type, instruction.pc))
-                if access_type is not MemoryAccessType.KERNEL_ZERO:
-                    consumed += self._data_penalty(outcome.latency, outcome.served_by)
+                consumed = base_cpi
+            address = instruction.memory_address
+            if address is not None and (kind == load or kind == store):
+                is_write = kind == store
+                latency = access_value(address, is_write,
+                                       "kernel_zero" if is_write else "kernel",
+                                       instruction.pc)
+                if not is_write:
+                    served_by = memory.last_served_by
+                    if served_by != "L1" and served_by != "none":
+                        exposed = latency - 4
+                        if exposed > 0:
+                            consumed += exposed * exposed_fraction
                 # Page-zeroing stores stream through the write-combining path:
                 # their cost is carried by the rep-counted zeroing instruction,
                 # while the accesses above still pollute the caches and DRAM
                 # row buffers (the interference the methodology models).
             consumed_total += consumed
-            self.kernel_instructions += 1
-            self.breakdown.kernel_cycles += consumed
-            self.counters.add("kernel_instructions")
+            kernel_count += 1
+            kernel_cycles += consumed
+        self.kernel_instructions += kernel_count
+        self.breakdown.kernel_cycles = kernel_cycles
+        self._c_kernel_instructions[0] += kernel_count
         return consumed_total
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,17 @@ instrumentation tool produce sequences of :class:`Instruction` records.  An
 instruction is deliberately minimal — a kind, an optional memory operand and
 the PC — because the core model only needs enough to charge issue slots and
 memory latency.
+
+Two stream representations coexist:
+
+* :class:`InstructionStream` — a list of :class:`Instruction` objects, used
+  by the kernel (MimicOS) instruction-injection path where streams are short
+  and carry per-instruction metadata (``repeat``, ``is_kernel``, MAGIC).
+* :class:`InstructionBatch` — parallel arrays of opcodes, PCs and memory
+  addresses, used by the application fast path.  Batches avoid one object
+  allocation per dynamic instruction, which dominates host time at
+  figure-scale instruction budgets; :meth:`CoreModel.execute_batch
+  <repro.core.cpu.CoreModel.execute_batch>` consumes them directly.
 """
 
 from __future__ import annotations
@@ -26,7 +37,24 @@ class InstructionKind(str, Enum):
     MAGIC = "magic"
 
 
-@dataclass
+#: Integer opcodes used by the array-backed batches (cheaper than enum
+#: members in the hot loop).  Loads and stores are the two largest values so
+#: the core model can test ``op >= OP_LOAD`` for "is memory".
+OP_ALU = 0
+OP_BRANCH = 1
+OP_LOAD = 2
+OP_STORE = 3
+
+KIND_TO_OP = {
+    InstructionKind.ALU: OP_ALU,
+    InstructionKind.BRANCH: OP_BRANCH,
+    InstructionKind.LOAD: OP_LOAD,
+    InstructionKind.STORE: OP_STORE,
+}
+OP_TO_KIND = {op: kind for kind, op in KIND_TO_OP.items()}
+
+
+@dataclass(slots=True)
 class Instruction:
     """One dynamic instruction."""
 
@@ -52,7 +80,7 @@ class Instruction:
         return self.kind == InstructionKind.STORE
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionStream:
     """An ordered sequence of instructions with a few convenience accessors."""
 
@@ -77,3 +105,56 @@ class InstructionStream:
     def memory_instructions(self) -> int:
         """Number of loads and stores in the stream."""
         return sum(1 for instruction in self.instructions if instruction.is_memory)
+
+
+class InstructionBatch:
+    """An application instruction chunk stored as parallel arrays.
+
+    ``kinds[i]`` is one of the ``OP_*`` opcodes, ``pcs[i]`` the program
+    counter and ``addresses[i]`` the memory operand (``None`` for non-memory
+    instructions).  Batches carry application instructions only: kernel
+    streams keep using :class:`InstructionStream` because they need
+    ``repeat``/MAGIC metadata.
+    """
+
+    __slots__ = ("kinds", "pcs", "addresses")
+
+    def __init__(self) -> None:
+        self.kinds: List[int] = []
+        self.pcs: List[int] = []
+        self.addresses: List[Optional[int]] = []
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def append(self, op: int, pc: int, address: Optional[int] = None) -> None:
+        """Add one instruction given its integer opcode."""
+        self.kinds.append(op)
+        self.pcs.append(pc)
+        self.addresses.append(address)
+
+    def append_instruction(self, instruction: Instruction) -> None:
+        """Add one :class:`Instruction` object (compatibility packing path)."""
+        self.kinds.append(KIND_TO_OP[instruction.kind])
+        self.pcs.append(instruction.pc)
+        self.addresses.append(instruction.memory_address)
+
+    @classmethod
+    def from_instructions(cls, instructions: Iterable[Instruction]) -> "InstructionBatch":
+        """Pack an instruction iterable into one batch."""
+        batch = cls()
+        append = batch.append_instruction
+        for instruction in instructions:
+            append(instruction)
+        return batch
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        """Yield equivalent :class:`Instruction` objects (test/debug helper)."""
+        for op, pc, address in zip(self.kinds, self.pcs, self.addresses):
+            yield Instruction(kind=OP_TO_KIND[op], pc=pc, memory_address=address)
+
+    @property
+    def memory_instructions(self) -> int:
+        """Number of loads and stores in the batch."""
+        return sum(1 for op, address in zip(self.kinds, self.addresses)
+                   if address is not None and op >= OP_LOAD)

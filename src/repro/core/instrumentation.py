@@ -158,16 +158,20 @@ class InstrumentationTool:
 
     def _emit_compute(self, stream: InstructionStream, pc: int, count: int,
                       branch_count: int, alu_count: int, already_emitted: int) -> int:
-        emitted = 0
-        for index in range(max(0, count)):
-            # Sprinkle branches proportionally through the compute instructions.
-            total = alu_count + branch_count
-            is_branch = (branch_count > 0 and total > 0
-                         and (already_emitted + index) % max(1, total // max(1, branch_count)) == 0)
-            kind = InstructionKind.BRANCH if is_branch else InstructionKind.ALU
-            stream.append(Instruction(kind=kind, pc=pc + 4 * index, is_kernel=True))
-            emitted += 1
-        return emitted
+        if count <= 0:
+            return 0
+        # Sprinkle branches proportionally through the compute instructions.
+        total = alu_count + branch_count
+        branch_active = branch_count > 0 and total > 0
+        interval = max(1, total // max(1, branch_count)) if branch_active else 1
+        alu = InstructionKind.ALU
+        branch = InstructionKind.BRANCH
+        append = stream.instructions.append
+        for index in range(count):
+            is_branch = branch_active and (already_emitted + index) % interval == 0
+            append(Instruction(kind=branch if is_branch else alu,
+                               pc=pc + 4 * index, is_kernel=True))
+        return count
 
     # ------------------------------------------------------------------ #
     # Host-cost accounting (used by the Fig. 11 overhead model)

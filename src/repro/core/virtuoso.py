@@ -59,6 +59,9 @@ class Virtuoso:
         self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel, self.core)
         self.mmu.set_fault_callback(self.coupling.handle_page_fault)
 
+        #: Emulation-mode fixed-latency wrappers, keyed by pid.
+        self._emulation_wrappers: Dict[int, FixedLatencyPageTable] = {}
+
         if config.mimicos.fragmentation_target < 1.0:
             self.kernel.fragment_memory()
 
@@ -72,16 +75,13 @@ class Virtuoso:
         if self.config.simulation.os_mode == "emulation" and not page_table.replaces_tlbs:
             page_table = FixedLatencyPageTable(page_table,
                                                self.config.simulation.fixed_ptw_latency)
-            self._emulation_wrappers = getattr(self, "_emulation_wrappers", {})
             self._emulation_wrappers[process.pid] = page_table
         self.mmu.set_context(process.pid, page_table)
         return process
 
     def activate_process(self, process: Process) -> None:
         """Switch the MMU to ``process`` (flushing the TLBs, as on a context switch)."""
-        page_table = process.page_table
-        wrappers = getattr(self, "_emulation_wrappers", {})
-        page_table = wrappers.get(process.pid, page_table)
+        page_table = self._emulation_wrappers.get(process.pid, process.page_table)
         self.mmu.set_context(process.pid, page_table, flush_tlbs=True)
 
     def map_workload(self, workload, process: Optional[Process] = None) -> Process:
@@ -128,13 +128,26 @@ class Virtuoso:
         self.activate_process(process)
 
         limit = max_instructions or self.config.simulation.max_instructions
+        engine = self.config.simulation.engine
+        if engine not in ("batch", "legacy"):
+            raise ValueError(f"unknown execution engine: {engine!r}")
         start_wall = time.perf_counter()
         executed = 0
-        for instruction in workload.instructions(process):
-            self.core.execute(instruction)
-            executed += 1
-            if limit is not None and executed >= limit:
-                break
+        if engine == "legacy":
+            for instruction in workload.instructions(process):
+                self.core.execute(instruction)
+                executed += 1
+                if limit is not None and executed >= limit:
+                    break
+        else:
+            # Fast path: consume array-backed chunks so the hot loop pays no
+            # per-instruction object or generator overhead.
+            batch_size = self.config.simulation.batch_size
+            for batch in workload.instruction_batches(process, batch_size):
+                remaining = None if limit is None else limit - executed
+                executed += self.core.execute_batch(batch, remaining)
+                if limit is not None and executed >= limit:
+                    break
         host_seconds = time.perf_counter() - start_wall
         self.counters.add("workloads_run")
         return self._build_report(workload, host_seconds)

@@ -16,7 +16,7 @@ from repro.common.config import CacheConfig
 from repro.common.stats import Counter
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of a single cache lookup."""
 
@@ -64,6 +64,16 @@ class Cache:
         ]
         self._access_clock = 0
         self.counters = Counter()
+        #: request_type -> (accesses, hits, misses) hot counter cells;
+        #: populated lazily so only the request classes that actually reach
+        #: this level pay for cells (and no per-access f-string formatting).
+        self._type_cells: Dict[str, Tuple[List[int], List[int], List[int]]] = {}
+        self._fill_keys: Dict[str, str] = {}
+        self._pollution_keys: Dict[str, str] = {}
+        self._c_evictions = self.counters.hot("evictions")
+        #: Identity of the line displaced by the most recent miss-fill.
+        self.last_evicted_tag: Optional[int] = None
+        self.last_evicted_dirty = False
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -72,34 +82,57 @@ class Cache:
         block = address // self.line_size
         return block % self.num_sets, block // self.num_sets
 
+    def _cells_for(self, request_type: str) -> Tuple[List[int], List[int], List[int]]:
+        cells = (self.counters.hot("accesses_" + request_type),
+                 self.counters.hot("hits_" + request_type),
+                 self.counters.hot("misses_" + request_type))
+        self._type_cells[request_type] = cells
+        return cells
+
     # ------------------------------------------------------------------ #
     # Main access path
     # ------------------------------------------------------------------ #
-    def access(self, address: int, is_write: bool = False,
-               request_type: str = "data") -> CacheAccessResult:
-        """Look up ``address``; on a miss the line is filled (allocate-on-miss).
+    def access_bool(self, address: int, is_write: bool = False,
+                    request_type: str = "data") -> bool:
+        """Allocation-free access: True on a hit, False on a miss-and-fill.
 
-        Returns the access latency of *this level only*; the memory hierarchy
-        adds the next level's latency on a miss.
+        The access latency is always ``self.latency`` for this level; the
+        memory hierarchy adds the next level's latency on a miss.
         """
         self._access_clock += 1
-        set_index, tag = self._index_and_tag(address)
-        lines = self._sets[set_index]
+        block = address // self.line_size
+        lines = self._sets[block % self.num_sets]
+        tag = block // self.num_sets
 
-        self.counters.add(f"accesses_{request_type}")
+        cells = self._type_cells.get(request_type)
+        if cells is None:
+            cells = self._cells_for(request_type)
+        cells[0][0] += 1
         for line in lines:
             if line.valid and line.tag == tag:
-                self.counters.add(f"hits_{request_type}")
+                cells[1][0] += 1
                 line.lru_stamp = self._access_clock
                 line.rrpv = 0
                 if is_write:
                     line.dirty = True
-                return CacheAccessResult(hit=True, latency=self.latency)
+                return True
 
-        self.counters.add(f"misses_{request_type}")
-        evicted_tag, evicted_dirty = self._fill(set_index, tag, is_write, request_type)
+        cells[2][0] += 1
+        self._fill(block % self.num_sets, tag, is_write, request_type)
+        return False
+
+    def access(self, address: int, is_write: bool = False,
+               request_type: str = "data") -> CacheAccessResult:
+        """Look up ``address``; on a miss the line is filled (allocate-on-miss).
+
+        Object-returning wrapper around :meth:`access_bool` kept for callers
+        that need the evicted line's identity (write-back modelling, tests).
+        """
+        if self.access_bool(address, is_write, request_type):
+            return CacheAccessResult(hit=True, latency=self.latency)
         return CacheAccessResult(hit=False, latency=self.latency,
-                                 evicted_tag=evicted_tag, evicted_dirty=evicted_dirty)
+                                 evicted_tag=self.last_evicted_tag,
+                                 evicted_dirty=self.last_evicted_dirty)
 
     def probe(self, address: int) -> bool:
         """Return True if ``address`` is present without disturbing state."""
@@ -111,7 +144,10 @@ class Cache:
         set_index, tag = self._index_and_tag(address)
         if any(line.valid and line.tag == tag for line in self._sets[set_index]):
             return
-        self.counters.add(f"fills_{request_type}")
+        key = self._fill_keys.get(request_type)
+        if key is None:
+            key = self._fill_keys[request_type] = "fills_" + request_type
+        self.counters.add(key)
         self._fill(set_index, tag, is_write=False, request_type=request_type)
 
     def invalidate(self, address: int) -> bool:
@@ -135,7 +171,7 @@ class Cache:
     # Replacement
     # ------------------------------------------------------------------ #
     def _fill(self, set_index: int, tag: int, is_write: bool,
-              request_type: str) -> Tuple[Optional[int], bool]:
+              request_type: str) -> None:
         lines = self._sets[set_index]
         victim = self._choose_victim(lines)
         evicted_tag: Optional[int] = None
@@ -143,18 +179,23 @@ class Cache:
         if victim.valid:
             evicted_tag = victim.tag * self.num_sets + set_index
             evicted_dirty = victim.dirty
-            self.counters.add("evictions")
+            self._c_evictions[0] += 1
             if victim.request_type != request_type:
                 # A fill from one request class displaced another class's data:
                 # this is the cache-pollution effect the paper highlights.
-                self.counters.add(f"pollution_evictions_by_{request_type}")
+                key = self._pollution_keys.get(request_type)
+                if key is None:
+                    key = self._pollution_keys[request_type] = \
+                        "pollution_evictions_by_" + request_type
+                self.counters.add(key)
         victim.tag = tag
         victim.valid = True
         victim.dirty = is_write
         victim.lru_stamp = self._access_clock
         victim.rrpv = self.SRRIP_INSERT_RRPV
         victim.request_type = request_type
-        return evicted_tag, evicted_dirty
+        self.last_evicted_tag = evicted_tag
+        self.last_evicted_dirty = evicted_dirty
 
     def _choose_victim(self, lines: List[_CacheLine]) -> _CacheLine:
         for line in lines:

@@ -17,7 +17,7 @@ from repro.common.config import DRAMConfig
 from repro.common.stats import Counter
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMAccessResult:
     """Outcome of a single DRAM access."""
 
@@ -62,6 +62,18 @@ class DRAMModel:
             for bank in range(self.banks_per_channel)
         }
         self.counters = Counter()
+        self._c_accesses = self.counters.hot("accesses")
+        self._c_row_misses = self.counters.hot("row_misses")
+        self._c_row_hits = self.counters.hot("row_hits")
+        self._c_row_conflicts = self.counters.hot("row_conflicts")
+        #: request_type -> cached counter-key strings (avoids per-access
+        #: f-string formatting on the hot path).
+        self._type_keys: Dict[str, Tuple[str, str, str, str]] = {}
+        self._victim_keys: Dict[str, str] = {}
+        #: Outcome details of the most recent :meth:`access_value` call.
+        self.last_row_hit = False
+        self.last_row_conflict = False
+        self.last_location = (0, 0, 0)
 
     # ------------------------------------------------------------------ #
     # Address mapping
@@ -79,9 +91,11 @@ class DRAMModel:
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #
-    def access(self, address: int, request_type: str = "data") -> DRAMAccessResult:
-        """Perform one DRAM access and return its latency and row-buffer outcome.
+    def access_value(self, address: int, request_type: str = "data") -> int:
+        """Perform one DRAM access and return only its latency.
 
+        The row-buffer outcome is left in :attr:`last_row_hit` /
+        :attr:`last_row_conflict` so the hot path allocates nothing.
         ``request_type`` tags the request so row-buffer conflicts can be
         attributed (e.g. conflicts *caused by* page-table accesses, the metric
         of Figs. 14 and 21).
@@ -89,35 +103,40 @@ class DRAMModel:
         channel, bank, row = self.map_address(address)
         state = self._banks[(channel, bank)]
 
-        self.counters.add("accesses")
-        self.counters.add(f"accesses_{request_type}")
+        keys = self._type_keys.get(request_type)
+        if keys is None:
+            keys = self._type_keys[request_type] = (
+                "accesses_" + request_type,
+                "row_hits_" + request_type,
+                "row_conflicts_" + request_type,
+                "row_conflicts_caused_by_" + request_type,
+            )
+        self._c_accesses[0] += 1
+        self.counters.add(keys[0])
 
-        if self.page_policy == "closed":
+        row_hit = False
+        row_conflict = False
+        if self.page_policy == "closed" or state.open_row is None:
             latency = self.config.row_miss_latency
-            row_hit = False
-            row_conflict = False
-            self.counters.add("row_misses")
-        elif state.open_row is None:
-            latency = self.config.row_miss_latency
-            row_hit = False
-            row_conflict = False
-            self.counters.add("row_misses")
+            self._c_row_misses[0] += 1
         elif state.open_row == row:
             latency = self.config.row_hit_latency
             row_hit = True
-            row_conflict = False
-            self.counters.add("row_hits")
-            self.counters.add(f"row_hits_{request_type}")
+            self._c_row_hits[0] += 1
+            self.counters.add(keys[1])
         else:
             latency = self.config.row_conflict_latency
-            row_hit = False
             row_conflict = True
-            self.counters.add("row_conflicts")
-            self.counters.add(f"row_conflicts_{request_type}")
+            self._c_row_conflicts[0] += 1
+            self.counters.add(keys[2])
             # Attribute the conflict to the request class that caused the row
             # to be closed *and* the one whose row was evicted.
-            self.counters.add(f"row_conflicts_caused_by_{request_type}")
-            self.counters.add(f"row_conflicts_victim_{state.open_row_owner}")
+            self.counters.add(keys[3])
+            victim_key = self._victim_keys.get(state.open_row_owner)
+            if victim_key is None:
+                victim_key = self._victim_keys[state.open_row_owner] = \
+                    "row_conflicts_victim_" + state.open_row_owner
+            self.counters.add(victim_key)
 
         if self.page_policy == "open":
             state.open_row = row
@@ -126,7 +145,17 @@ class DRAMModel:
             state.open_row = None
             state.open_row_owner = "none"
 
-        return DRAMAccessResult(latency=latency, row_hit=row_hit, row_conflict=row_conflict,
+        self.last_row_hit = row_hit
+        self.last_row_conflict = row_conflict
+        self.last_location = (channel, bank, row)
+        return latency
+
+    def access(self, address: int, request_type: str = "data") -> DRAMAccessResult:
+        """Perform one DRAM access and return its latency and row-buffer outcome."""
+        latency = self.access_value(address, request_type)
+        channel, bank, row = self.last_location
+        return DRAMAccessResult(latency=latency, row_hit=self.last_row_hit,
+                                row_conflict=self.last_row_conflict,
                                 channel=channel, bank=bank, row=row)
 
     # ------------------------------------------------------------------ #

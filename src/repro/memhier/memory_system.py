@@ -18,7 +18,7 @@ from repro.common.config import CacheConfig, DRAMConfig, PrefetcherConfig, Syste
 from repro.common.stats import Counter
 from repro.memhier.cache import Cache
 from repro.memhier.dram import DRAMModel
-from repro.memhier.prefetcher import build_prefetcher
+from repro.memhier.prefetcher import NullPrefetcher, build_prefetcher
 
 
 class MemoryAccessType(str, Enum):
@@ -34,7 +34,7 @@ class MemoryAccessType(str, Enum):
     SWAP = "swap"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single memory request travelling down the hierarchy."""
 
@@ -44,7 +44,7 @@ class MemoryRequest:
     pc: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccessOutcome:
     """Latency and where in the hierarchy the request was satisfied."""
 
@@ -76,6 +76,16 @@ class MemoryHierarchy:
         self.l1_prefetcher = build_prefetcher(l1_prefetcher, l1_config.line_size)
         self.l2_prefetcher = build_prefetcher(l2_prefetcher, l2_config.line_size)
         self.counters = Counter()
+        self._c_requests = self.counters.hot("requests")
+        self._c_l1_prefetches = self.counters.hot("l1_prefetches")
+        self._c_l2_prefetches = self.counters.hot("l2_prefetches")
+        #: request-type string -> hot cell for ``requests_<type>``.
+        self._req_cells: Dict[str, List[int]] = {}
+        #: Outcome details of the most recent :meth:`access_value` call.
+        self.last_served_by = "none"
+        self.last_row_conflict = False
+        self._l1_prefetch_active = not isinstance(self.l1_prefetcher, NullPrefetcher)
+        self._l2_prefetch_active = not isinstance(self.l2_prefetcher, NullPrefetcher)
 
     @classmethod
     def from_system_config(cls, config: SystemConfig) -> "MemoryHierarchy":
@@ -92,61 +102,85 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #
+    def access_value(self, address: int, is_write: bool = False,
+                     access_type: str = "data", pc: int = 0) -> int:
+        """Allocation-free access: returns the total latency of the request.
+
+        ``access_type`` is the request-type *string* (``MemoryAccessType.
+        <X>.value``).  Which level served the request and whether DRAM saw a
+        row-buffer conflict are left in :attr:`last_served_by` /
+        :attr:`last_row_conflict`; every counter a :meth:`access` call would
+        bump is bumped identically here.
+        """
+        cell = self._req_cells.get(access_type)
+        if cell is None:
+            cell = self._req_cells[access_type] = self.counters.hot("requests_" + access_type)
+        self._c_requests[0] += 1
+        cell[0] += 1
+
+        l1 = self.l1
+        latency = l1.latency
+        if l1.access_bool(address, is_write, access_type):
+            self.last_served_by = "L1"
+            self.last_row_conflict = False
+            if access_type != "prefetch":
+                self._observe_prefetchers(address, pc, level=1)
+            return latency
+
+        l2 = self.l2
+        latency += l2.latency
+        if l2.access_bool(address, is_write, access_type):
+            self.last_served_by = "L2"
+            self.last_row_conflict = False
+            if access_type != "prefetch":
+                self._observe_prefetchers(address, pc, level=2)
+            return latency
+
+        l3 = self.l3
+        latency += l3.latency
+        if l3.access_bool(address, is_write, access_type):
+            self.last_served_by = "L3"
+            self.last_row_conflict = False
+            return latency
+
+        latency += self.dram.access_value(address, access_type)
+        self.last_served_by = "DRAM"
+        self.last_row_conflict = self.dram.last_row_conflict
+        if access_type != "prefetch":
+            self._observe_prefetchers(address, pc, level=2)
+        return latency
+
     def access(self, request: MemoryRequest) -> MemoryAccessOutcome:
         """Send one request through L1 -> L2 -> L3 -> DRAM and return its outcome."""
-        request_type = request.access_type.value
-        self.counters.add("requests")
-        self.counters.add(f"requests_{request_type}")
-
-        latency = 0
-        row_conflict = False
-
-        l1_result = self.l1.access(request.address, request.is_write, request_type)
-        latency += l1_result.latency
-        if l1_result.hit:
-            self._run_prefetchers(request, level=1)
-            return MemoryAccessOutcome(latency=latency, served_by="L1")
-
-        l2_result = self.l2.access(request.address, request.is_write, request_type)
-        latency += l2_result.latency
-        if l2_result.hit:
-            self._run_prefetchers(request, level=2)
-            return MemoryAccessOutcome(latency=latency, served_by="L2")
-
-        l3_result = self.l3.access(request.address, request.is_write, request_type)
-        latency += l3_result.latency
-        if l3_result.hit:
-            return MemoryAccessOutcome(latency=latency, served_by="L3")
-
-        dram_result = self.dram.access(request.address, request_type)
-        latency += dram_result.latency
-        row_conflict = dram_result.row_conflict
-        self._run_prefetchers(request, level=2)
-        return MemoryAccessOutcome(latency=latency, served_by="DRAM", row_conflict=row_conflict)
+        access_type = request.access_type
+        type_value = access_type.value if isinstance(access_type, MemoryAccessType) \
+            else str(access_type)
+        latency = self.access_value(request.address, request.is_write, type_value, request.pc)
+        return MemoryAccessOutcome(latency=latency, served_by=self.last_served_by,
+                                   row_conflict=self.last_row_conflict)
 
     def access_address(self, address: int, is_write: bool = False,
                        access_type: MemoryAccessType = MemoryAccessType.DATA,
                        pc: int = 0) -> int:
         """Convenience wrapper returning only the latency of an access."""
-        return self.access(MemoryRequest(address, is_write, access_type, pc)).latency
+        type_value = access_type.value if isinstance(access_type, MemoryAccessType) \
+            else str(access_type)
+        return self.access_value(address, is_write, type_value, pc)
 
-    def _run_prefetchers(self, request: MemoryRequest, level: int) -> None:
+    def _observe_prefetchers(self, address: int, pc: int, level: int) -> None:
         """Train the prefetchers on a demand access and issue prefetch fills."""
-        if request.access_type in (MemoryAccessType.PREFETCH,):
-            return
-        if level == 1:
-            candidates = self.l1_prefetcher.observe(request.address, request.pc)
-            for address in candidates:
-                if address < 0:
+        if level == 1 and self._l1_prefetch_active:
+            for candidate in self.l1_prefetcher.observe(address, pc):
+                if candidate < 0:
                     continue
-                self.counters.add("l1_prefetches")
-                self.l1.fill(address, request_type="prefetch")
-        candidates = self.l2_prefetcher.observe(request.address, request.pc)
-        for address in candidates:
-            if address < 0:
-                continue
-            self.counters.add("l2_prefetches")
-            self.l2.fill(address, request_type="prefetch")
+                self._c_l1_prefetches[0] += 1
+                self.l1.fill(candidate, request_type="prefetch")
+        if self._l2_prefetch_active:
+            for candidate in self.l2_prefetcher.observe(address, pc):
+                if candidate < 0:
+                    continue
+                self._c_l2_prefetches[0] += 1
+                self.l2.fill(candidate, request_type="prefetch")
 
     # ------------------------------------------------------------------ #
     # Statistics

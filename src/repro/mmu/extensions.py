@@ -27,3 +27,8 @@ class MMUExtensions:
     page_size_prediction: bool = False
     #: Two-dimensional (guest + host) translation for virtualised execution.
     nested_translation: bool = False
+    #: Simulator fast path (not modelled hardware): memoise repeat same-page
+    #: L1 TLB hits in a flat VPN cache so the batch engine can skip the full
+    #: TLB-object machinery.  Simulated statistics are bit-identical with the
+    #: cache on or off; the switch exists for the invariance tests.
+    vpn_translation_cache: bool = True

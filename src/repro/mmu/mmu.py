@@ -11,14 +11,30 @@ finally performs the data access.
 Schemes that replace the TLBs (Midgard, VBI) follow their own path: a cheap
 frontend translation before the access and a backend translation charged
 only when the access reaches DRAM.
+
+Fast path
+---------
+
+:meth:`MMU.access_data_fast` is the batch engine's entry point.  It consults
+a flat VPN -> (page base, physical base, page size, L1 TLB slot) cache that
+memoises the most recent L1 data-TLB hits.  A fast hit replays *exactly* the
+side effects the slow path would produce for the same access — L1 probe
+clocks, LRU stamp refresh, every counter, the translation-latency sample —
+so simulated statistics are bit-identical with the cache enabled or
+disabled.  The cache is strictly invalidated whenever its replay could
+diverge: on :meth:`set_context`, on any TLB content change (fill,
+invalidate, flush — tracked through the TLBs' ``version`` counters) and on
+any page-table mutation (tracked through the page table's ``version``).
+Results are returned in per-MMU scratch objects, so the hot loop performs no
+allocation at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.common.addresses import PAGE_SIZE_4K, align_down
+from repro.common.addresses import PAGE_SIZE_2M, PAGE_SIZE_4K, align_down
 from repro.common.stats import Counter, RunningStats
 from repro.memhier.memory_system import MemoryAccessType, MemoryHierarchy, MemoryRequest
 from repro.mmu.extensions import MMUExtensions
@@ -32,8 +48,11 @@ from repro.pagetables.base import PageTableBase
 #: Signature of the page-fault callback: (pid, virtual address) -> (latency, handled).
 FaultCallback = Callable[[int, int], Tuple[int, bool]]
 
+#: Safety bound on the VPN cache (covers far more than the L1 TLBs' reach).
+_VPN_CACHE_MAX_ENTRIES = 65536
 
-@dataclass
+
+@dataclass(slots=True)
 class TranslationResult:
     """Outcome of translating one virtual address."""
 
@@ -53,7 +72,7 @@ class TranslationResult:
     page_size: int = PAGE_SIZE_4K
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryOperationResult:
     """Translation plus data access for one memory operand."""
 
@@ -61,6 +80,22 @@ class MemoryOperationResult:
     data_latency: int = 0
     served_by: str = "none"
     total_latency: int = 0
+
+
+class _NestedWalkAdapter:
+    """Adapts a nested (2-D) walk outcome to the ``WalkResult`` duck type."""
+
+    __slots__ = ("found", "latency", "memory_accesses", "physical_base",
+                 "page_size", "frontend_latency", "backend_latency")
+
+    def __init__(self, nested) -> None:
+        self.found = nested.found
+        self.latency = nested.latency
+        self.memory_accesses = nested.memory_accesses
+        self.physical_base = nested.host_physical_base
+        self.page_size = nested.page_size
+        self.frontend_latency = 0
+        self.backend_latency = nested.latency
 
 
 class MMU:
@@ -85,6 +120,34 @@ class MMU:
         self.pom_tlb = PartOfMemoryTLB() if self.extensions.pom_tlb else None
         self.victima = VictimaCacheTLB(memory.l2) if self.extensions.victima else None
 
+        # Hot counter cells (folded transparently on every Counter read).
+        self._c_data_accesses = self.counters.hot("data_accesses")
+        self._c_instruction_accesses = self.counters.hot("instruction_accesses")
+        self._c_tlb_hits = self.counters.hot("tlb_hits")
+        self._c_tlb_misses = self.counters.hot("tlb_misses")
+        self._c_page_walks = self.counters.hot("page_walks")
+        self._c_ptw_memory_accesses = self.counters.hot("ptw_memory_accesses")
+
+        # Fast-path state: the flat VPN translation cache and the version
+        # snapshots its entries are valid against.
+        self.vpn_cache_enabled = self.extensions.vpn_translation_cache
+        self._l1d_4k = tlb_hierarchy.l1d_4k
+        self._l1d_2m = tlb_hierarchy.l1d_2m
+        self._l1_latency = tlb_hierarchy.l1d_4k.latency
+        self._vpn_cache: Dict[int, tuple] = {}
+        #: 2M-page entries keyed at 2M granularity (one record covers the
+        #: whole huge page, so THP workloads warm up after a single miss).
+        self._vpn_cache_2m: Dict[int, tuple] = {}
+        self._vpn_pt_source: Optional[PageTableBase] = None
+        self._vpn_pt_version = -1
+        self._vpn_tlb_version = -1
+        #: Cumulative fast-path hits (diagnostics; not a simulated statistic).
+        self.fast_hits = 0
+
+        # Scratch result objects reused by the allocation-free fast path.
+        self._scratch_translation = TranslationResult(0)
+        self._scratch_op = MemoryOperationResult(translation=self._scratch_translation)
+
     # ------------------------------------------------------------------ #
     # Context management
     # ------------------------------------------------------------------ #
@@ -93,6 +156,11 @@ class MMU:
         """Switch the MMU to another process's address space."""
         self.pid = pid
         self.page_table = page_table
+        self._vpn_cache.clear()
+        self._vpn_cache_2m.clear()
+        self._vpn_pt_source = None if page_table is None else page_table.version_source()
+        self._vpn_pt_version = -1
+        self._vpn_tlb_version = -1
         if flush_tlbs:
             self.tlbs.flush()
 
@@ -112,9 +180,9 @@ class MMU:
         """Translate ``virtual_address`` and perform the data access."""
         if self.page_table is None:
             raise RuntimeError("MMU has no page table; call set_context() first")
-        self.counters.add("data_accesses")
+        self._c_data_accesses[0] += 1
 
-        if getattr(self.page_table, "replaces_tlbs", False):
+        if self.page_table.replaces_tlbs:
             return self._access_intermediate_scheme(virtual_address, is_write, pc)
 
         translation = self._translate(virtual_address)
@@ -122,26 +190,94 @@ class MMU:
             return MemoryOperationResult(translation=translation,
                                          total_latency=translation.latency)
 
-        outcome = self.memory.access(MemoryRequest(translation.physical_address, is_write,
-                                                   MemoryAccessType.DATA, pc))
-        total = translation.latency + outcome.latency
-        return MemoryOperationResult(translation=translation, data_latency=outcome.latency,
-                                     served_by=outcome.served_by, total_latency=total)
+        memory = self.memory
+        data_latency = memory.access_value(translation.physical_address, is_write, "data", pc)
+        return MemoryOperationResult(translation=translation, data_latency=data_latency,
+                                     served_by=memory.last_served_by,
+                                     total_latency=translation.latency + data_latency)
+
+    def access_data_fast(self, virtual_address: int, is_write: bool = False,
+                         pc: int = 0) -> MemoryOperationResult:
+        """Allocation-free :meth:`access_data` used by the batch engine.
+
+        Returns a scratch :class:`MemoryOperationResult` that is overwritten
+        by the next call — callers must consume it immediately.
+        """
+        cache = self._vpn_cache
+        cache_2m = self._vpn_cache_2m
+        if cache or cache_2m:
+            if (self._vpn_pt_source.version != self._vpn_pt_version
+                    or self._l1d_4k.version + self._l1d_2m.version != self._vpn_tlb_version):
+                cache.clear()
+                cache_2m.clear()
+            else:
+                entry = cache.get(virtual_address >> 12)
+                if entry is None and cache_2m:
+                    entry = cache_2m.get(virtual_address >> 21)
+                if entry is not None:
+                    # Replay the exact side effects of the slow path's L1 hit.
+                    page_base, physical_base, page_size, is_2m, entries, key = entry
+                    l1_4k = self._l1d_4k
+                    l1_4k._clock += 1
+                    l1_4k._c_lookups[0] += 1
+                    if is_2m:
+                        l1_4k._c_misses[0] += 1
+                        l1_2m = self._l1d_2m
+                        l1_2m._clock += 1
+                        l1_2m._c_lookups[0] += 1
+                        l1_2m._c_hits[0] += 1
+                        entries[key] = (physical_base, page_size, l1_2m._clock)
+                    else:
+                        l1_4k._c_hits[0] += 1
+                        entries[key] = (physical_base, page_size, l1_4k._clock)
+                    self.tlbs._c_data_lookups[0] += 1
+                    self._c_data_accesses[0] += 1
+                    self._c_tlb_hits[0] += 1
+                    latency = self._l1_latency
+                    self.translation_latency_stats.add(latency)
+
+                    physical_address = physical_base + (virtual_address - page_base)
+                    memory = self.memory
+                    data_latency = memory.access_value(physical_address, is_write, "data", pc)
+                    self.fast_hits += 1
+
+                    translation = self._scratch_translation
+                    translation.virtual_address = virtual_address
+                    translation.physical_address = physical_address
+                    translation.latency = latency
+                    translation.tlb_hit = True
+                    translation.tlb_level = "L1"
+                    translation.walked = False
+                    translation.walk_latency = 0
+                    translation.walk_memory_accesses = 0
+                    translation.page_fault = False
+                    translation.fault_latency = 0
+                    translation.segfault = False
+                    translation.frontend_latency = 0
+                    translation.backend_latency = 0
+                    translation.page_size = page_size
+                    operation = self._scratch_op
+                    operation.data_latency = data_latency
+                    operation.served_by = memory.last_served_by
+                    operation.total_latency = latency + data_latency
+                    return operation
+        return self.access_data(virtual_address, is_write, pc)
 
     def access_instruction(self, virtual_address: int, pc: int = 0) -> MemoryOperationResult:
         """Instruction-fetch translation and access (used per fetched line)."""
         if self.page_table is None:
             raise RuntimeError("MMU has no page table; call set_context() first")
-        self.counters.add("instruction_accesses")
+        self._c_instruction_accesses[0] += 1
         translation = self._translate(virtual_address, instruction=True)
         if translation.segfault:
             return MemoryOperationResult(translation=translation,
                                          total_latency=translation.latency)
-        outcome = self.memory.access(MemoryRequest(translation.physical_address, False,
-                                                   MemoryAccessType.INSTRUCTION, pc))
-        total = translation.latency + outcome.latency
-        return MemoryOperationResult(translation=translation, data_latency=outcome.latency,
-                                     served_by=outcome.served_by, total_latency=total)
+        memory = self.memory
+        data_latency = memory.access_value(translation.physical_address, False,
+                                           "instruction", pc)
+        return MemoryOperationResult(translation=translation, data_latency=data_latency,
+                                     served_by=memory.last_served_by,
+                                     total_latency=translation.latency + data_latency)
 
     # ------------------------------------------------------------------ #
     # Conventional (TLB + walk) translation
@@ -158,11 +294,13 @@ class MMU:
             result.page_size = lookup.page_size
             result.physical_address = (lookup.physical_base
                                        + virtual_address % lookup.page_size)
-            self.counters.add("tlb_hits")
+            self._c_tlb_hits[0] += 1
             self.translation_latency_stats.add(result.latency)
+            if not instruction and lookup.level == "L1":
+                self._note_l1_data_hit(virtual_address, lookup)
             return result
 
-        self.counters.add("tlb_misses")
+        self._c_tlb_misses[0] += 1
 
         # Optional structures probed before the walk.
         if self.victima is not None:
@@ -214,27 +352,66 @@ class MMU:
                               instruction)
         return result
 
+    # ------------------------------------------------------------------ #
+    # VPN translation cache maintenance
+    # ------------------------------------------------------------------ #
+    def _note_l1_data_hit(self, virtual_address: int, lookup: TLBLookupResult) -> None:
+        """Memoise an L1 data-TLB hit so repeat accesses take the fast path."""
+        if not self.vpn_cache_enabled:
+            return
+        source = self._vpn_pt_source
+        if source is None:
+            return
+        page_size = lookup.page_size
+        if page_size == PAGE_SIZE_4K:
+            tlb = self._l1d_4k
+            is_2m = False
+        elif page_size == PAGE_SIZE_2M:
+            tlb = self._l1d_2m
+            is_2m = True
+        else:
+            return
+
+        pt_version = source.version
+        tlb_version = self._l1d_4k.version + self._l1d_2m.version
+        cache = self._vpn_cache_2m if is_2m else self._vpn_cache
+        if pt_version != self._vpn_pt_version or tlb_version != self._vpn_tlb_version:
+            self._vpn_cache.clear()
+            self._vpn_cache_2m.clear()
+            self._vpn_pt_version = pt_version
+            self._vpn_tlb_version = tlb_version
+        elif len(cache) >= _VPN_CACHE_MAX_ENTRIES:
+            cache.clear()
+
+        vpn = virtual_address // page_size
+        key = (vpn, page_size)
+        entries = tlb._sets[vpn % tlb.num_sets]
+        if key not in entries:
+            return
+        cache[vpn if is_2m else virtual_address >> 12] = \
+            (vpn * page_size, lookup.physical_base, page_size, is_2m, entries, key)
+
+    def fast_path_stats(self) -> Dict[str, int]:
+        """Diagnostics for the VPN translation cache (not simulated state)."""
+        return {
+            "enabled": int(self.vpn_cache_enabled),
+            "entries": len(self._vpn_cache) + len(self._vpn_cache_2m),
+            "fast_hits": self.fast_hits,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Walks, fills and faults
+    # ------------------------------------------------------------------ #
     def _walk(self, virtual_address: int):
         if self.nested_unit is not None and self.extensions.nested_translation:
             nested = self.nested_unit.walk(virtual_address, self.memory)
-            self.counters.add("page_walks")
-            self.counters.add("ptw_memory_accesses", nested.memory_accesses)
+            self._c_page_walks[0] += 1
+            self._c_ptw_memory_accesses[0] += nested.memory_accesses
             self.ptw_latency_stats.add(nested.latency)
-            # Adapt the nested result to the WalkResult duck type.
-            class _Adapter:
-                pass
-            adapter = _Adapter()
-            adapter.found = nested.found
-            adapter.latency = nested.latency
-            adapter.memory_accesses = nested.memory_accesses
-            adapter.physical_base = nested.host_physical_base
-            adapter.page_size = nested.page_size
-            adapter.frontend_latency = 0
-            adapter.backend_latency = nested.latency
-            return adapter
+            return _NestedWalkAdapter(nested)
         walk = self.page_table.walk(virtual_address, self.memory)
-        self.counters.add("page_walks")
-        self.counters.add("ptw_memory_accesses", walk.memory_accesses)
+        self._c_page_walks[0] += 1
+        self._c_ptw_memory_accesses[0] += walk.memory_accesses
         self.ptw_latency_stats.add(walk.latency)
         return walk
 
@@ -308,21 +485,22 @@ class MMU:
         # The caches are indexed with the intermediate address in Midgard/VBI;
         # using the functional physical address as a proxy preserves hit/miss
         # behaviour because the mapping is one-to-one.
-        outcome = self.memory.access(MemoryRequest(functional, is_write,
-                                                   MemoryAccessType.DATA, pc))
+        memory = self.memory
+        data_latency = memory.access_value(functional, is_write, "data", pc)
+        served_by = memory.last_served_by
         backend_latency = 0
-        if outcome.served_by == "DRAM" and intermediate is not None:
+        if served_by == "DRAM" and intermediate is not None:
             _, backend_latency, accesses = page_table.translate_backend(intermediate, self.memory)
             result.backend_latency += backend_latency
             result.walk_memory_accesses += accesses
-            self.counters.add("page_walks")
+            self._c_page_walks[0] += 1
             self.ptw_latency_stats.add(backend_latency)
         result.latency += backend_latency
 
         self.counters.add("data_accesses_intermediate")
-        total = result.latency + outcome.latency
-        return MemoryOperationResult(translation=result, data_latency=outcome.latency,
-                                     served_by=outcome.served_by, total_latency=total)
+        total = result.latency + data_latency
+        return MemoryOperationResult(translation=result, data_latency=data_latency,
+                                     served_by=served_by, total_latency=total)
 
     # ------------------------------------------------------------------ #
     # Statistics
@@ -352,4 +530,5 @@ class MMU:
             "total_ptw_latency": self.total_ptw_latency(),
             "avg_translation_latency": self.translation_latency_stats.mean,
             "page_table": self.page_table.stats() if self.page_table is not None else {},
+            "fast_path": self.fast_path_stats(),
         }

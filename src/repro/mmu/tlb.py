@@ -17,7 +17,7 @@ from repro.common.config import TLBConfig
 from repro.common.stats import Counter
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBLookupResult:
     """Outcome of a TLB hierarchy lookup."""
 
@@ -42,6 +42,15 @@ class TLB:
         self._sets: List[Dict[int, Tuple[int, int, int]]] = [dict() for _ in range(self.num_sets)]
         self._clock = 0
         self.counters = Counter()
+        #: Bumped whenever the TLB's *contents* change (fill, invalidate,
+        #: flush).  The MMU's VPN translation cache watches this to detect
+        #: that a cached L1 hit may no longer replay identically.
+        self.version = 0
+        self._c_lookups = self.counters.hot("lookups")
+        self._c_hits = self.counters.hot("hits")
+        self._c_misses = self.counters.hot("misses")
+        self._c_fills = self.counters.hot("fills")
+        self._c_evictions = self.counters.hot("evictions")
 
     def _index_and_tag(self, virtual_address: int, page_size: int) -> Tuple[int, int]:
         vpn = virtual_address // page_size
@@ -54,17 +63,18 @@ class TLB:
     def lookup(self, virtual_address: int) -> Optional[Tuple[int, int]]:
         """Return (physical base, page size) on a hit, None on a miss."""
         self._clock += 1
-        self.counters.add("lookups")
+        self._c_lookups[0] += 1
         for page_size in self.page_sizes:
-            set_index, tag = self._index_and_tag(virtual_address, page_size)
-            entries = self._sets[set_index]
-            entry = entries.get((tag, page_size))
+            vpn = virtual_address // page_size
+            entries = self._sets[vpn % self.num_sets]
+            key = (vpn, page_size)
+            entry = entries.get(key)
             if entry is not None:
                 physical_base, size, _ = entry
-                entries[(tag, page_size)] = (physical_base, size, self._clock)
-                self.counters.add("hits")
+                entries[key] = (physical_base, size, self._clock)
+                self._c_hits[0] += 1
                 return physical_base, size
-        self.counters.add("misses")
+        self._c_misses[0] += 1
         return None
 
     def fill(self, virtual_address: int, physical_base: int, page_size: int) -> None:
@@ -72,27 +82,30 @@ class TLB:
         if not self.supports(page_size):
             return
         self._clock += 1
+        self.version += 1
         set_index, tag = self._index_and_tag(virtual_address, page_size)
         entries = self._sets[set_index]
         key = (tag, page_size)
         if key not in entries and len(entries) >= self.associativity:
             victim = min(entries, key=lambda k: entries[k][2])
             del entries[victim]
-            self.counters.add("evictions")
+            self._c_evictions[0] += 1
         entries[key] = (physical_base, page_size, self._clock)
-        self.counters.add("fills")
+        self._c_fills[0] += 1
 
     def invalidate(self, virtual_address: int) -> None:
         """Drop any translation covering ``virtual_address`` (TLB shootdown)."""
         for page_size in self.page_sizes:
             set_index, tag = self._index_and_tag(virtual_address, page_size)
             if self._sets[set_index].pop((tag, page_size), None) is not None:
+                self.version += 1
                 self.counters.add("invalidations")
 
     def flush(self) -> None:
         """Invalidate every entry (context switch without ASIDs)."""
         for entries in self._sets:
             entries.clear()
+        self.version += 1
         self.counters.add("flushes")
 
     def hits(self) -> int:
@@ -125,13 +138,16 @@ class TLBHierarchy:
         l2_sizes = tuple(sorted(set(l2.page_sizes) | {PAGE_SIZE_1G}))
         self.l2 = TLB(TLBConfig(l2.name, l2.entries, l2.associativity, l2.latency, l2_sizes))
         self.counters = Counter()
+        self._c_data_lookups = self.counters.hot("data_lookups")
+        self._c_instruction_lookups = self.counters.hot("instruction_lookups")
+        self._c_l2_misses = self.counters.hot("l2_misses")
 
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #
     def lookup_data(self, virtual_address: int) -> TLBLookupResult:
         """L1 data TLBs (both page sizes probed in parallel), then the L2 TLB."""
-        self.counters.add("data_lookups")
+        self._c_data_lookups[0] += 1
         latency = self.l1d_4k.latency
 
         for l1 in (self.l1d_4k, self.l1d_2m):
@@ -148,12 +164,12 @@ class TLBHierarchy:
             self._fill_l1(virtual_address, physical_base, page_size)
             return TLBLookupResult(hit=True, latency=latency, level="L2",
                                    physical_base=physical_base, page_size=page_size)
-        self.counters.add("l2_misses")
+        self._c_l2_misses[0] += 1
         return TLBLookupResult(hit=False, latency=latency)
 
     def lookup_instruction(self, virtual_address: int) -> TLBLookupResult:
         """L1 instruction TLB, then the unified L2 TLB."""
-        self.counters.add("instruction_lookups")
+        self._c_instruction_lookups[0] += 1
         latency = self.l1i.latency
         entry = self.l1i.lookup(virtual_address)
         if entry is not None:
@@ -167,7 +183,7 @@ class TLBHierarchy:
             self.l1i.fill(virtual_address, physical_base, page_size)
             return TLBLookupResult(hit=True, latency=latency, level="L2",
                                    physical_base=physical_base, page_size=page_size)
-        self.counters.add("l2_misses")
+        self._c_l2_misses[0] += 1
         return TLBLookupResult(hit=False, latency=latency)
 
     # ------------------------------------------------------------------ #

@@ -109,6 +109,9 @@ class PageTableBase:
         self.counters = Counter()
         #: Functional mapping store: virtual page base -> TranslationMapping.
         self._mappings: Dict[int, TranslationMapping] = {}
+        #: Bumped on every insert/remove; the MMU's VPN translation cache
+        #: watches this so any page-table mutation invalidates it.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Software (MimicOS) interface
@@ -121,6 +124,7 @@ class PageTableBase:
         virtual_base = align_down(virtual_address, page_size)
         physical_base = align_down(physical_address, page_size)
         self._mappings[virtual_base] = TranslationMapping(virtual_base, physical_base, page_size)
+        self.version += 1
         self.counters.add("insertions")
         self._insert_structure(virtual_base, physical_base, page_size, trace)
 
@@ -131,6 +135,7 @@ class PageTableBase:
         if mapping is None:
             return False
         del self._mappings[mapping.virtual_base]
+        self.version += 1
         self.counters.add("removals")
         self._remove_structure(mapping, trace)
         return True
@@ -152,6 +157,15 @@ class PageTableBase:
         if mapping is None:
             return None
         return mapping.translate(virtual_address)
+
+    def version_source(self) -> "PageTableBase":
+        """Object whose :attr:`version` reflects this table's mutations.
+
+        Delegating wrappers (e.g. the emulation mode's fixed-latency
+        decorator) override this to return the wrapped table, because the
+        kernel mutates the inner structure directly.
+        """
+        return self
 
     def mapped_pages(self) -> int:
         """Number of installed mappings (of any size)."""

@@ -15,7 +15,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.addresses import PAGE_SIZE_4K
 from repro.common.rng import DeterministicRNG
-from repro.core.instructions import Instruction, InstructionKind
+from repro.core.instructions import (
+    OP_ALU,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    Instruction,
+    InstructionBatch,
+    InstructionKind,
+)
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind, VirtualMemoryArea
@@ -41,6 +49,30 @@ class Workload:
     def instructions(self, process: Process) -> Iterator[Instruction]:
         """Yield the workload's dynamic instruction stream."""
         raise NotImplementedError
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
+        """Yield the instruction stream packed into array-backed batches.
+
+        The default implementation packs :meth:`instructions`, so every
+        workload works with the batch engine unmodified; hot workloads
+        override this to build the arrays directly and skip per-instruction
+        object allocation.  Overrides must produce the exact same (kind, pc,
+        address) sequence as :meth:`instructions`.
+        """
+        batch = InstructionBatch()
+        append = batch.append_instruction
+        count = 0
+        for instruction in self.instructions(process):
+            append(instruction)
+            count += 1
+            if count >= batch_size:
+                yield batch
+                batch = InstructionBatch()
+                append = batch.append_instruction
+                count = 0
+        if count:
+            yield batch
 
     def prefault_addresses(self, process: Process) -> Iterator[int]:
         """Addresses to pre-fault when ``prefault`` is True (page-strided)."""
@@ -94,6 +126,56 @@ class StreamBuilder:
                 is_write = self.rng.random() < self.write_fraction
             kind = InstructionKind.STORE if is_write else InstructionKind.LOAD
             yield Instruction(kind=kind, pc=self._next_pc(), memory_address=address)
+
+    def emit_batches(self, addresses: Iterable[int],
+                     writes: Optional[Iterable[bool]] = None,
+                     batch_size: int = 4096) -> Iterator["InstructionBatch"]:
+        """Array-backed equivalent of :meth:`emit`.
+
+        Produces the exact same (kind, pc, address) sequence — including RNG
+        draw order — without allocating an :class:`Instruction` per record.
+        """
+        write_iter = iter(writes) if writes is not None else None
+        rng_random = self.rng.random
+        write_fraction = self.write_fraction
+        compute_per_memory = self.compute_per_memory
+        pc_base = self.pc_base
+        pc_count = self.pc_count
+        last_compute = compute_per_memory - 1
+        per_operation = compute_per_memory + 1
+
+        batch = InstructionBatch()
+        kinds = batch.kinds
+        pcs = batch.pcs
+        operands = batch.addresses
+        count = 0
+        cursor = self._pc_cursor
+        for address in addresses:
+            for index in range(compute_per_memory):
+                kinds.append(OP_BRANCH if index == last_compute else OP_ALU)
+                pcs.append(pc_base + (cursor % pc_count) * 4)
+                cursor += 1
+                operands.append(None)
+            if write_iter is not None:
+                is_write = next(write_iter, False)
+            else:
+                is_write = rng_random() < write_fraction
+            kinds.append(OP_STORE if is_write else OP_LOAD)
+            pcs.append(pc_base + (cursor % pc_count) * 4)
+            cursor += 1
+            operands.append(address)
+            count += per_operation
+            if count >= batch_size:
+                self._pc_cursor = cursor
+                yield batch
+                batch = InstructionBatch()
+                kinds = batch.kinds
+                pcs = batch.pcs
+                operands = batch.addresses
+                count = 0
+        self._pc_cursor = cursor
+        if count:
+            yield batch
 
 
 def strided_addresses(start: int, count: int, stride: int) -> Iterator[int]:

@@ -19,7 +19,14 @@ from typing import Dict, Iterator, List
 
 from repro.common.addresses import KB, MB, PAGE_SIZE_4K
 from repro.common.rng import DeterministicRNG
-from repro.core.instructions import Instruction, InstructionKind
+from repro.core.instructions import (
+    OP_ALU,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    Instruction,
+    InstructionBatch,
+)
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind
@@ -84,37 +91,76 @@ class LLMInferenceWorkload(Workload):
                                            name=f"{self.name}-activations")
 
     def instructions(self, process: Process) -> Iterator[Instruction]:
+        # The batch generator is the single source of the token loop; the
+        # object stream is derived from it so the two can never diverge.
+        for batch in self.instruction_batches(process):
+            yield from batch.iter_instructions()
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
         rng = DeterministicRNG(self.seed)
+        rng_randint = rng.randint
         profile = self.profile
         weights, kv, activations = self._weights_vma, self._kv_vma, self._activation_vma
-
         weight_reads = max(1, int(profile.weight_reads_per_token * self.weight_read_scale))
+        kv_growth = int(profile.kv_cache_bytes_per_token * self.scale)
+        weight_slots = max(1, (weights.size - 64) // 64)
+        activation_span = max(0, activations.size - 64)
+        half_page = PAGE_SIZE_4K // 2
 
-        def stream() -> Iterator[Instruction]:
-            kv_offset = 0
-            weight_slots = max(1, (weights.size - 64) // 64)
-            for token in range(profile.tokens):
-                # Stream a sample of the weights (every layer's matrices).
-                for read in range(weight_reads):
-                    slot = (token * weight_reads + read * 37) % weight_slots
-                    yield Instruction(kind=InstructionKind.ALU, pc=0x460000 + (read % 8) * 4)
-                    yield Instruction(kind=InstructionKind.LOAD, pc=0x460100 + (read % 8) * 4,
-                                      memory_address=weights.start + slot * 64)
-                # Grow the KV cache: first-touch writes over fresh pages.
-                kv_growth = int(profile.kv_cache_bytes_per_token * self.scale)
-                end = min(kv_offset + kv_growth, kv.size - 64)
-                address = kv.start + kv_offset
-                while address < kv.start + end:
-                    yield Instruction(kind=InstructionKind.STORE, pc=0x461000,
-                                      memory_address=address)
-                    yield Instruction(kind=InstructionKind.ALU, pc=0x461010)
-                    address += PAGE_SIZE_4K // 2
-                kv_offset = end
-                # Activation scratch writes.
-                for write in range(16):
-                    offset = rng.randint(0, max(0, activations.size - 64))
-                    yield Instruction(kind=InstructionKind.STORE, pc=0x462000 + (write % 4) * 4,
-                                      memory_address=activations.start + offset)
-                yield Instruction(kind=InstructionKind.BRANCH, pc=0x463000)
-
-        return stream()
+        batch = InstructionBatch()
+        kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+        count = 0
+        kv_offset = 0
+        for token in range(profile.tokens):
+            # Stream a sample of the weights (every layer's matrices).
+            for read in range(weight_reads):
+                slot = (token * weight_reads + read * 37) % weight_slots
+                kinds.append(OP_ALU)
+                pcs.append(0x460000 + (read % 8) * 4)
+                operands.append(None)
+                kinds.append(OP_LOAD)
+                pcs.append(0x460100 + (read % 8) * 4)
+                operands.append(weights.start + slot * 64)
+                count += 2
+                if count >= batch_size:
+                    yield batch
+                    batch = InstructionBatch()
+                    kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+                    count = 0
+            # Grow the KV cache: first-touch writes over fresh pages.
+            end = min(kv_offset + kv_growth, kv.size - 64)
+            address = kv.start + kv_offset
+            while address < kv.start + end:
+                kinds.append(OP_STORE)
+                pcs.append(0x461000)
+                operands.append(address)
+                kinds.append(OP_ALU)
+                pcs.append(0x461010)
+                operands.append(None)
+                address += half_page
+                count += 2
+                if count >= batch_size:
+                    yield batch
+                    batch = InstructionBatch()
+                    kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+                    count = 0
+            kv_offset = end
+            # Activation scratch writes.
+            for write in range(16):
+                offset = rng_randint(0, activation_span)
+                kinds.append(OP_STORE)
+                pcs.append(0x462000 + (write % 4) * 4)
+                operands.append(activations.start + offset)
+                count += 1
+            kinds.append(OP_BRANCH)
+            pcs.append(0x463000)
+            operands.append(None)
+            count += 1
+            if count >= batch_size:
+                yield batch
+                batch = InstructionBatch()
+                kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+                count = 0
+        if count:
+            yield batch

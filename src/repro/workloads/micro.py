@@ -16,7 +16,13 @@ from typing import Iterator
 
 from repro.common.addresses import MB, PAGE_SIZE_4K
 from repro.common.rng import DeterministicRNG
-from repro.core.instructions import Instruction, InstructionKind
+from repro.core.instructions import (
+    OP_ALU,
+    OP_LOAD,
+    OP_STORE,
+    Instruction,
+    InstructionBatch,
+)
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind
@@ -45,27 +51,47 @@ class IntensitySweepWorkload(Workload):
                                 name=f"{self.name}-heap")
 
     def instructions(self, process: Process) -> Iterator[Instruction]:
+        # Derived from the batch generator so the two paths cannot diverge.
+        for batch in self.instruction_batches(process):
+            yield from batch.iter_instructions()
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
         rng = DeterministicRNG(self.seed)
+        rng_random = rng.random
+        rng_randint = rng.randint
         vma = self._vma
+        start = vma.start
         random_fraction = 0.1 + 0.85 * self.intensity
+        sequential_offset = 0
+        span = vma.size - 64
+        compute = max(1, int(6 - 4 * self.intensity))
+        compute_pcs = [0x470000 + c * 4 for c in range(compute)]
 
-        def stream() -> Iterator[Instruction]:
-            sequential_offset = 0
-            span = vma.size - 64
-            compute = max(1, int(6 - 4 * self.intensity))
-            for index in range(self.memory_operations):
-                for c in range(compute):
-                    yield Instruction(kind=InstructionKind.ALU, pc=0x470000 + c * 4)
-                if rng.random() < random_fraction:
-                    address = vma.start + rng.randint(0, span)
-                else:
-                    address = vma.start + sequential_offset
-                    sequential_offset = (sequential_offset + 64) % span
-                kind = InstructionKind.STORE if rng.random() < 0.3 else InstructionKind.LOAD
-                yield Instruction(kind=kind, pc=0x471000 + (index % 16) * 4,
-                                  memory_address=address)
-
-        return stream()
+        batch = InstructionBatch()
+        kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+        count = 0
+        for index in range(self.memory_operations):
+            for pc in compute_pcs:
+                kinds.append(OP_ALU)
+                pcs.append(pc)
+                operands.append(None)
+            if rng_random() < random_fraction:
+                address = start + rng_randint(0, span)
+            else:
+                address = start + sequential_offset
+                sequential_offset = (sequential_offset + 64) % span
+            kinds.append(OP_STORE if rng_random() < 0.3 else OP_LOAD)
+            pcs.append(0x471000 + (index % 16) * 4)
+            operands.append(address)
+            count += compute + 1
+            if count >= batch_size:
+                yield batch
+                batch = InstructionBatch()
+                kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+                count = 0
+        if count:
+            yield batch
 
 
 class KernelFractionMicrobenchmark(Workload):
@@ -97,22 +123,43 @@ class KernelFractionMicrobenchmark(Workload):
                                 name=f"{self.name}-heap")
 
     def instructions(self, process: Process) -> Iterator[Instruction]:
+        # Derived from the batch generator so the two paths cannot diverge.
+        for batch in self.instruction_batches(process):
+            yield from batch.iter_instructions()
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
         rng = DeterministicRNG(self.seed)
+        rng_random = rng.random
         vma = self._vma
+        fresh_page_fraction = self.fresh_page_fraction
+        fresh_page_index = 0
+        warm_base = vma.start
+        total_pages = vma.size // PAGE_SIZE_4K
 
-        def stream() -> Iterator[Instruction]:
-            fresh_page_index = 0
-            warm_base = vma.start
-            total_pages = vma.size // PAGE_SIZE_4K
-            for index in range(self.memory_operations):
-                yield Instruction(kind=InstructionKind.ALU, pc=0x480000)
-                yield Instruction(kind=InstructionKind.ALU, pc=0x480004)
-                if rng.random() < self.fresh_page_fraction and fresh_page_index < total_pages - 1:
-                    fresh_page_index += 1
-                    address = vma.start + fresh_page_index * PAGE_SIZE_4K
-                else:
-                    address = warm_base + (index % 8) * 64
-                yield Instruction(kind=InstructionKind.STORE, pc=0x481000,
-                                  memory_address=address)
-
-        return stream()
+        batch = InstructionBatch()
+        kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+        count = 0
+        for index in range(self.memory_operations):
+            kinds.append(OP_ALU)
+            pcs.append(0x480000)
+            operands.append(None)
+            kinds.append(OP_ALU)
+            pcs.append(0x480004)
+            operands.append(None)
+            if rng_random() < fresh_page_fraction and fresh_page_index < total_pages - 1:
+                fresh_page_index += 1
+                address = vma.start + fresh_page_index * PAGE_SIZE_4K
+            else:
+                address = warm_base + (index % 8) * 64
+            kinds.append(OP_STORE)
+            pcs.append(0x481000)
+            operands.append(address)
+            count += 3
+            if count >= batch_size:
+                yield batch
+                batch = InstructionBatch()
+                kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
+                count = 0
+        if count:
+            yield batch

@@ -45,17 +45,24 @@ class RandomAccessWorkload(Workload):
         self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
                                 name=f"{self.name}-heap")
 
-    def instructions(self, process: Process) -> Iterator[Instruction]:
+    def _address_stream(self) -> Iterator[int]:
         rng = DeterministicRNG(self.seed)
-        builder = StreamBuilder(rng.fork(1), self.compute_per_memory, self.write_fraction)
         vma = self._vma
+        span = vma.size - 64
+        start = vma.start
+        randint = rng.randint
+        for _ in range(self.memory_operations):
+            yield start + randint(0, span)
 
-        def addresses() -> Iterator[int]:
-            span = vma.size - 64
-            for _ in range(self.memory_operations):
-                yield vma.start + rng.randint(0, span)
+    def _builder(self) -> StreamBuilder:
+        return StreamBuilder(DeterministicRNG(self.seed).fork(1),
+                             self.compute_per_memory, self.write_fraction)
 
-        return builder.emit(addresses())
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        return self._builder().emit(self._address_stream())
+
+    def instruction_batches(self, process: Process, batch_size: int = 4096):
+        return self._builder().emit_batches(self._address_stream(), batch_size=batch_size)
 
 
 class SequentialWorkload(Workload):
@@ -79,18 +86,25 @@ class SequentialWorkload(Workload):
         self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
                                 name=f"{self.name}-heap")
 
-    def instructions(self, process: Process) -> Iterator[Instruction]:
-        rng = DeterministicRNG(self.seed)
-        builder = StreamBuilder(rng, self.compute_per_memory, write_fraction=0.2)
+    def _address_stream(self) -> Iterator[int]:
         vma = self._vma
+        start = vma.start
+        stride = self.stride
+        span = vma.size - 64
+        offset = 0
+        for _ in range(self.memory_operations):
+            yield start + offset
+            offset = (offset + stride) % span
 
-        def addresses() -> Iterator[int]:
-            offset = 0
-            for _ in range(self.memory_operations):
-                yield vma.start + offset
-                offset = (offset + self.stride) % (vma.size - 64)
+    def _builder(self) -> StreamBuilder:
+        return StreamBuilder(DeterministicRNG(self.seed), self.compute_per_memory,
+                             write_fraction=0.2)
 
-        return builder.emit(addresses())
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        return self._builder().emit(self._address_stream())
+
+    def instruction_batches(self, process: Process, batch_size: int = 4096):
+        return self._builder().emit_batches(self._address_stream(), batch_size=batch_size)
 
 
 class StridedWorkload(SequentialWorkload):
@@ -125,18 +139,23 @@ class PointerChaseWorkload(Workload):
         self._vma = kernel.mmap(process, self.footprint_bytes, kind=VMAKind.ANONYMOUS,
                                 name=f"{self.name}-nodes")
 
-    def instructions(self, process: Process) -> Iterator[Instruction]:
-        rng = DeterministicRNG(self.seed)
-        builder = StreamBuilder(rng.fork(1), self.compute_per_memory, write_fraction=0.05)
+    def _address_stream(self) -> Iterator[int]:
+        # A deterministic pseudo-random permutation walk: the next node is
+        # a hash of the current one, so accesses are serially dependent.
         vma = self._vma
+        start = vma.start
+        current = 0
+        span_nodes = max(1, (vma.size - 64) // 64)
+        for _ in range(self.memory_operations):
+            yield start + current * 64
+            current = (current * 0x9E3779B1 + 0x7F4A7C15) % span_nodes
 
-        def addresses() -> Iterator[int]:
-            # A deterministic pseudo-random permutation walk: the next node is
-            # a hash of the current one, so accesses are serially dependent.
-            current = 0
-            span_nodes = max(1, (vma.size - 64) // 64)
-            for _ in range(self.memory_operations):
-                yield vma.start + current * 64
-                current = (current * 0x9E3779B1 + 0x7F4A7C15) % span_nodes
+    def _builder(self) -> StreamBuilder:
+        return StreamBuilder(DeterministicRNG(self.seed).fork(1),
+                             self.compute_per_memory, write_fraction=0.05)
 
-        return builder.emit(addresses())
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        return self._builder().emit(self._address_stream())
+
+    def instruction_batches(self, process: Process, batch_size: int = 4096):
+        return self._builder().emit_batches(self._address_stream(), batch_size=batch_size)

@@ -1,0 +1,232 @@
+"""Fast-path invariance tests: the batch engine and the VPN translation
+cache must change *host* throughput only — never a simulated statistic.
+
+Three families:
+
+* batch streams — every array-native ``instruction_batches`` override must
+  emit the exact (kind, pc, address) sequence of its ``instructions``;
+* engine/cache invariance — legacy vs batch engine and VPN-cache on vs off
+  must produce bit-identical reports (cycles, IPC, walks, TLB counters,
+  faults, memory-system counters);
+* invalidation — ``activate_process``, TLB flushes and page-table unmaps
+  must invalidate the VPN cache so no stale fast hit can occur.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.addresses import MB, PAGE_SIZE_4K
+from repro.common.config import CacheConfig, DRAMConfig, TLBConfig
+from repro.core.cpu import CoreModel
+from repro.core.virtuoso import Virtuoso
+from repro.memhier.memory_system import MemoryHierarchy
+from repro.mimicos.kernel import MimicOS
+from repro.mmu.extensions import MMUExtensions
+from repro.mmu.mmu import MMU, MemoryOperationResult, TranslationResult
+from repro.mmu.tlb import TLBHierarchy
+from repro.pagetables.radix import RadixPageTable
+from repro.common.config import PageTableConfig
+from repro.workloads import (
+    GUPSWorkload,
+    IntensitySweepWorkload,
+    KernelFractionMicrobenchmark,
+    LLMInferenceWorkload,
+    PointerChaseWorkload,
+    SequentialWorkload,
+)
+from tests.conftest import tiny_mimicos_config, tiny_system_config
+
+REPORT_FIELDS = [
+    "instructions", "kernel_instructions", "cycles", "ipc",
+    "page_walks", "l2_tlb_misses", "page_faults", "major_faults",
+    "total_translation_latency", "total_ptw_latency", "average_ptw_latency",
+    "total_fault_latency", "dram_accesses", "dram_row_conflicts",
+    "llc_misses", "translation_stall_cycles", "fault_stall_cycles",
+    "data_stall_cycles", "swapped_pages",
+]
+
+
+def run_system(workload_factory, engine="batch", extensions=None, seed=7):
+    config = tiny_system_config()
+    config = config.with_simulation(replace(config.simulation, engine=engine))
+    system = Virtuoso(config, seed=seed, mmu_extensions=extensions)
+    report = system.run(workload_factory())
+    return system, report
+
+
+def assert_reports_identical(first, second):
+    for field in REPORT_FIELDS:
+        assert getattr(first, field) == getattr(second, field), field
+    assert first.details["mmu"]["counters"] == second.details["mmu"]["counters"]
+    assert first.details["mmu"]["tlbs"] == second.details["mmu"]["tlbs"]
+    assert first.details["memory"] == second.details["memory"]
+    assert first.details["core"] == second.details["core"]
+    assert first.details["coupling"] == second.details["coupling"]
+
+
+class TestBatchStreamsMatchInstructionStreams:
+    """Array-native batch generators must replay instructions() exactly."""
+
+    WORKLOADS = [
+        lambda: GUPSWorkload(footprint_bytes=4 * MB, memory_operations=600, seed=3),
+        lambda: SequentialWorkload(footprint_bytes=4 * MB, memory_operations=600, seed=4),
+        lambda: PointerChaseWorkload(footprint_bytes=4 * MB, memory_operations=400, seed=5),
+        lambda: IntensitySweepWorkload(0.6, memory_operations=400, prefault=False, seed=6),
+        lambda: KernelFractionMicrobenchmark(0.5, memory_operations=400, seed=8),
+        lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+    ]
+
+    @pytest.mark.parametrize("factory", WORKLOADS)
+    def test_sequences_identical(self, factory):
+        kernel = MimicOS(tiny_mimicos_config(), PageTableConfig(kind="radix"))
+        process = kernel.create_process("batchcheck")
+        workload = factory()
+        workload.setup(kernel, process)
+
+        expected = [(i.kind, i.pc, i.memory_address)
+                    for i in workload.instructions(process)]
+        got = []
+        for batch in workload.instruction_batches(process, batch_size=257):
+            got.extend((i.kind, i.pc, i.memory_address)
+                       for i in batch.iter_instructions())
+        assert got == expected
+
+
+class TestEngineInvariance:
+    def test_batch_engine_matches_legacy_engine(self):
+        factory = lambda: GUPSWorkload(footprint_bytes=4 * MB,
+                                       memory_operations=1200, seed=5)
+        _, legacy = run_system(factory, engine="legacy")
+        system, batch = run_system(factory, engine="batch")
+        assert_reports_identical(legacy, batch)
+        assert system.mmu.fast_hits > 0
+
+    def test_vpn_cache_on_off_invariance(self):
+        for factory in (
+            lambda: SequentialWorkload(footprint_bytes=4 * MB,
+                                       memory_operations=2000, prefault=True, seed=2),
+            lambda: GUPSWorkload(footprint_bytes=4 * MB, memory_operations=1200, seed=5),
+        ):
+            on_system, on_report = run_system(factory, extensions=MMUExtensions())
+            off_system, off_report = run_system(
+                factory, extensions=MMUExtensions(vpn_translation_cache=False))
+            assert_reports_identical(on_report, off_report)
+            assert on_system.mmu.fast_hits > 0
+            assert off_system.mmu.fast_hits == 0
+
+    def test_max_instructions_exact_with_batches(self):
+        factory = lambda: SequentialWorkload(footprint_bytes=4 * MB,
+                                             memory_operations=5000, prefault=True)
+        config = tiny_system_config()
+        system = Virtuoso(config, seed=7)
+        report = system.run(factory(), max_instructions=777)
+        assert report.instructions == 777
+
+
+class TestVPNCacheInvalidation:
+    def make_mmu(self):
+        memory = MemoryHierarchy(
+            l1_config=CacheConfig("L1", 4 * 1024, 4, 2),
+            l2_config=CacheConfig("L2", 16 * 1024, 4, 8),
+            l3_config=CacheConfig("L3", 64 * 1024, 8, 20),
+            dram_config=DRAMConfig(capacity_bytes=1 << 30),
+        )
+        tlbs = TLBHierarchy(
+            l1i=TLBConfig("L1I", 16, 4, 1),
+            l1d_4k=TLBConfig("L1D4K", 16, 4, 1),
+            l1d_2m=TLBConfig("L1D2M", 8, 4, 1, page_sizes=(2 << 20,)),
+            l2=TLBConfig("L2", 64, 8, 8, page_sizes=(PAGE_SIZE_4K, 2 << 20)),
+        )
+        mmu = MMU(tlbs, memory)
+        table = RadixPageTable()
+        mmu.set_context(pid=1, page_table=table)
+        return mmu, table
+
+    def warm(self, mmu, address):
+        """Walk + fill, then an L1 hit that records the VPN cache entry."""
+        mmu.access_data_fast(address)          # miss -> walk -> fill
+        mmu.access_data_fast(address)          # L1 hit -> recorded
+        hits_before = mmu.fast_hits
+        mmu.access_data_fast(address)          # fast hit
+        assert mmu.fast_hits == hits_before + 1
+        assert mmu.fast_path_stats()["entries"] > 0
+
+    def test_tlb_flush_invalidates(self):
+        mmu, table = self.make_mmu()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        self.warm(mmu, 0x1000)
+        mmu.tlbs.flush()
+        hits = mmu.fast_hits
+        result = mmu.access_data_fast(0x1040)
+        assert mmu.fast_hits == hits            # took the slow path
+        assert result.translation.walked        # TLBs were empty again
+        assert result.translation.physical_address == 0xA040
+
+    def test_page_table_unmap_invalidates(self):
+        mmu, table = self.make_mmu()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        self.warm(mmu, 0x1000)
+        table.remove(0x1000)
+        hits = mmu.fast_hits
+        mmu.access_data_fast(0x1000)
+        assert mmu.fast_hits == hits            # fast path declined to answer
+        # Any page-table mutation (insert included) must also invalidate.
+        self.warm(mmu, 0x1000)                  # re-warm via the (stale) TLB entry
+        table.insert(0x9000, 0xB000, PAGE_SIZE_4K)
+        hits = mmu.fast_hits
+        mmu.access_data_fast(0x1000)
+        assert mmu.fast_hits == hits
+
+    def test_set_context_and_activate_process_invalidate(self):
+        mmu, table = self.make_mmu()
+        table.insert(0x1000, 0xA000, PAGE_SIZE_4K)
+        self.warm(mmu, 0x1000)
+        other = RadixPageTable()
+        mmu.set_context(pid=2, page_table=other, flush_tlbs=True)
+        assert mmu.fast_path_stats()["entries"] == 0
+
+        config = tiny_system_config()
+        system = Virtuoso(config, seed=7)
+        first = system.create_process("a")
+        workload = SequentialWorkload(footprint_bytes=1 * MB,
+                                      memory_operations=500, prefault=True)
+        system.run(workload, process=first)
+        assert system.mmu.fast_hits > 0
+        second = system.create_process("b")
+        system.activate_process(second)
+        assert system.mmu.fast_path_stats()["entries"] == 0
+
+
+class TestTranslationPenaltyAccounting:
+    def test_negative_translation_penalty_raises(self):
+        """Accounting bugs (latency < fault latency + 1) must surface loudly."""
+        config = tiny_system_config()
+        system = Virtuoso(config, seed=7)
+        core = system.core
+
+        bogus_translation = TranslationResult(virtual_address=0x1000, latency=3,
+                                              fault_latency=10, page_fault=True)
+        bogus = MemoryOperationResult(translation=bogus_translation, data_latency=0,
+                                      served_by="L1", total_latency=3)
+        core.mmu.access_data = lambda *args, **kwargs: bogus
+
+        from repro.core.instructions import Instruction, InstructionKind
+        with pytest.raises(AssertionError, match="negative translation component"):
+            core.execute(Instruction(kind=InstructionKind.LOAD, memory_address=0x1000))
+
+    def test_zero_latency_translation_is_not_an_error(self):
+        """A zero-latency frontend (nothing to overlap) must not trip the assert."""
+        config = tiny_system_config()
+        system = Virtuoso(config, seed=7)
+        core = system.core
+        free_translation = TranslationResult(virtual_address=0x1000, latency=0)
+        free = MemoryOperationResult(translation=free_translation, data_latency=0,
+                                     served_by="L1", total_latency=0)
+        core.mmu.access_data = lambda *args, **kwargs: free
+
+        from repro.core.instructions import Instruction, InstructionKind
+        before = core.cycles
+        core.execute(Instruction(kind=InstructionKind.LOAD, memory_address=0x1000))
+        assert core.cycles == before + config.core.base_cpi
+        assert core.breakdown.translation_cycles == 0.0
