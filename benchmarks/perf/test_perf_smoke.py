@@ -1,11 +1,18 @@
-"""Always-on perf smoke gate: fail if GUPS KIPS regresses past tolerance.
+"""Always-on perf smoke gate: fail if fast-path KIPS regresses past tolerance.
 
-The gate compares the fast-engine GUPS throughput measured on this host
+Two scenarios are gated: GUPS (the application fast path) and ``llm_faults``
+(the kernel-dominated fault-heavy scenario that isolates the array-backed
+MimicOS stream path).  Each compares throughput measured on this host
 against the value recorded in ``BENCH_perf.json`` and fails when it drops
 more than :data:`~benchmarks.perf.kips_harness.REGRESSION_TOLERANCE` (30 %)
 below the record.  Regenerate the record with::
 
     PYTHONPATH=src python benchmarks/perf/kips_harness.py
+
+Vectorised workload generation (numpy) is optional: the assertions that
+specifically concern the vectorised generators are skipped when numpy is
+absent, while the engine gates run either way (the pure-python fallback
+emits identical instruction sequences).
 """
 
 from __future__ import annotations
@@ -16,9 +23,11 @@ import pytest
 
 from benchmarks.perf.kips_harness import (
     BENCH_PATH,
+    FAULT_HEAVY_TARGET_SPEEDUP,
     REGRESSION_TOLERANCE,
     run_scenario,
 )
+from repro.workloads.base import numpy_available, vectorization_enabled
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -56,3 +65,58 @@ def test_fast_engine_beats_legacy_on_gups():
     assert batch["kips"] > legacy["kips"], (
         f"batch engine ({batch['kips']:.1f} KIPS) is not faster than "
         f"legacy ({legacy['kips']:.1f} KIPS)")
+
+
+def test_fault_heavy_record_meets_target():
+    """The recorded fault-heavy speedup must meet the kernel-batch target."""
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
+    recorded = json.loads(BENCH_PATH.read_text())
+    row = recorded["scenarios"].get("llm_faults")
+    assert row is not None, "BENCH_perf.json predates the llm_faults scenario"
+    assert row["speedup"] >= FAULT_HEAVY_TARGET_SPEEDUP, (
+        f"recorded fault-heavy speedup {row['speedup']}x is below the "
+        f"{FAULT_HEAVY_TARGET_SPEEDUP}x kernel-batch target")
+    # The scenario only isolates the kernel path if MimicOS dominates it.
+    after = row["after"]
+    assert after["kernel_instructions"] > 10 * after["instructions"]
+
+
+def test_fault_heavy_kips_no_regression():
+    """Measured fault-heavy KIPS must stay within tolerance of the record.
+
+    Same host-normalisation as the GUPS gate: the legacy engine scales the
+    record onto this machine so only genuine kernel-batch regressions fire.
+    """
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
+    recorded = json.loads(BENCH_PATH.read_text())
+    row = recorded["scenarios"].get("llm_faults")
+    if row is None:
+        pytest.skip("BENCH_perf.json predates the llm_faults scenario")
+
+    measured_before = run_scenario("llm_faults", "legacy", repeats=2)
+    host_scale = min(1.0, measured_before["kips"] / row["before_kips"])
+    measured = run_scenario("llm_faults", "batch")
+    floor = row["after_kips"] * host_scale * (1.0 - REGRESSION_TOLERANCE)
+    assert measured["kips"] >= floor, (
+        f"fault-heavy KIPS regressed: measured {measured['kips']:.1f}, "
+        f"recorded {row['after_kips']:.1f} (host scale {host_scale:.2f}), "
+        f"floor {floor:.1f}")
+    assert measured["kips"] > measured_before["kips"], (
+        "batch engine lost to legacy on the kernel-dominated scenario")
+
+
+def test_vectorized_generation_active():
+    """With numpy installed, the vectorised generators must be the default."""
+    if not numpy_available():
+        pytest.skip("numpy not installed; pure-python generation fallback in use")
+    assert vectorization_enabled(), (
+        "numpy is available but vectorised workload generation is disabled")
+    if BENCH_PATH.exists():
+        recorded = json.loads(BENCH_PATH.read_text())
+        host = recorded.get("host", {})
+        if "vectorized_generation" in host:
+            assert host["vectorized_generation"], (
+                "BENCH_perf.json was recorded without vectorised generation; "
+                "regenerate it with numpy installed")

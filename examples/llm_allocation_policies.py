@@ -16,6 +16,7 @@ from repro import Virtuoso, scaled_system_config
 from repro.analysis.reporting import format_table
 from repro.common.config import PageTableConfig
 from repro.workloads import LLMInferenceWorkload
+from repro.workloads.base import vectorization_enabled
 
 
 def run_policy(thp_policy: str, page_table_kind: str = "radix"):
@@ -25,7 +26,7 @@ def run_policy(thp_policy: str, page_table_kind: str = "radix"):
     config = config.with_page_table(PageTableConfig(kind=page_table_kind))
     system = Virtuoso(config, seed=11)
     workload = LLMInferenceWorkload("Llama", scale=0.5, weight_read_scale=0.2)
-    return system.run(workload)
+    return config, system.run(workload)
 
 
 def main() -> None:
@@ -36,8 +37,14 @@ def main() -> None:
         ("Utopia RestSeg", "bd", "utopia"),
     ]
     rows = []
+    engine = "?"
+    total_simulated = 0
+    total_host_seconds = 0.0
     for label, policy, page_table in policies:
-        report = run_policy(policy, page_table)
+        config, report = run_policy(policy, page_table)
+        engine = config.simulation.engine
+        total_simulated += report.instructions + report.kernel_instructions
+        total_host_seconds += report.host_seconds
         dist = report.fault_latency
         rows.append([
             label,
@@ -51,6 +58,11 @@ def main() -> None:
         ["allocation policy", "faults", "p50 (cyc)", "p99 (cyc)", "max (cyc)", "mean (cyc)"],
         rows,
         title="Page-fault latency under different allocation policies (Llama inference)"))
+    print()
+    kips = total_simulated / 1000.0 / total_host_seconds if total_host_seconds else 0.0
+    generation = "numpy-vectorised" if vectorization_enabled() else "pure-python"
+    print(f"[{engine} engine, {generation} generation: {total_simulated:,} simulated "
+          f"instructions across {len(policies)} policies at {kips:,.0f} KIPS]")
     print()
     print("Reservation-based THP keeps the median low but grows a heavy tail")
     print("(promotions zero and remap whole 2 MB regions); Utopia's restrictive")

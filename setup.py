@@ -1,2 +1,10 @@
 from setuptools import setup
-setup()
+
+setup(
+    extras_require={
+        # Optional numpy acceleration for the vectorised workload generators
+        # (repro.workloads.base.set_vectorization); the pure-python fallback
+        # emits bit-identical instruction sequences without it.
+        "fast": ["numpy>=1.22"],
+    },
+)

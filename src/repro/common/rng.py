@@ -42,6 +42,24 @@ class DeterministicRNG:
         """Uniform float in ``[0, 1)``."""
         return self._random.random()
 
+    def random_list(self, count: int) -> List[float]:
+        """``count`` uniform floats, drawn from the *same* stream as
+        :meth:`random`.
+
+        Bulk helper for the vectorised workload generators: calling
+        ``random_list(n)`` consumes exactly the draws that ``n`` scalar
+        :meth:`random` calls would, so array-building code can hoist its
+        draws without perturbing reproducibility.
+        """
+        random = self._random.random
+        return [random() for _ in range(count)]
+
+    def randint_list(self, low: int, high: int, count: int) -> List[int]:
+        """``count`` uniform integers in ``[low, high]``, stream-exact with
+        ``count`` scalar :meth:`randint` calls (see :meth:`random_list`)."""
+        randint = self._random.randint
+        return [randint(low, high) for _ in range(count)]
+
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in ``[low, high]``."""
         return self._random.uniform(low, high)

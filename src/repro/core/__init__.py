@@ -25,7 +25,13 @@ from repro.core.channels import (
     PageFaultResponse,
 )
 from repro.core.cpu import CoreModel
-from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instructions import (
+    Instruction,
+    InstructionBatch,
+    InstructionKind,
+    InstructionStream,
+    KernelInstructionBatch,
+)
 from repro.core.instrumentation import InstrumentationTool
 from repro.core.modes import EmulationCoupling, FullSystemCoupling, ImitationCoupling, OSCoupling
 from repro.core.report import SimulationReport
@@ -38,10 +44,12 @@ __all__ = [
     "FunctionalChannel",
     "ImitationCoupling",
     "Instruction",
+    "InstructionBatch",
     "InstructionKind",
     "InstructionStream",
     "InstructionStreamChannel",
     "InstrumentationTool",
+    "KernelInstructionBatch",
     "OSCoupling",
     "PageFaultRequest",
     "PageFaultResponse",

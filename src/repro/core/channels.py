@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Optional
 
 from repro.common.stats import Counter
-from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instructions import (
+    OP_MAGIC,
+    Instruction,
+    InstructionKind,
+    InstructionStream,
+    KernelInstructionBatch,
+)
 
 
 @dataclass
@@ -104,10 +110,16 @@ class InstructionStreamChannel:
     streams; the consumer (the simulator's core model) drains them.  A magic
     instruction is appended to every stream so the consumer knows when to
     switch back to the application stream, mirroring §4.2's execution flow.
+
+    Streams travel in one of two on-channel representations, matching the
+    selected execution engine: per-object :class:`InstructionStream` (legacy)
+    or array-backed :class:`KernelInstructionBatch` (batch).  Both are
+    terminated and counted identically, so channel statistics are engine-
+    invariant.
     """
 
     def __init__(self):
-        self._streams: Deque[InstructionStream] = deque()
+        self._streams: Deque[object] = deque()
         self.counters = Counter()
 
     def push(self, stream: InstructionStream) -> None:
@@ -119,8 +131,21 @@ class InstructionStreamChannel:
         self.counters.add("streams")
         self.counters.add("instructions", len(stream))
 
-    def pop(self) -> Optional[InstructionStream]:
-        """Consumer side: dequeue the next stream (None if empty)."""
+    def push_batch(self, batch: KernelInstructionBatch) -> None:
+        """Producer side: enqueue an array-backed kernel batch.
+
+        The magic terminator is appended to the batch in place (ownership
+        transfers to the channel — producers hand over freshly expanded
+        batches and never reuse them), avoiding the copy the object path
+        pays.
+        """
+        self.counters.add("streams")
+        self.counters.add("instructions", len(batch))
+        batch.append(OP_MAGIC, 0)
+        self._streams.append(batch)
+
+    def pop(self):
+        """Consumer side: dequeue the next stream or batch (None if empty)."""
         if not self._streams:
             return None
         return self._streams.popleft()

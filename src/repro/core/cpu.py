@@ -29,12 +29,16 @@ from typing import Dict, Optional
 from repro.common.config import CoreConfig
 from repro.common.stats import Counter
 from repro.core.instructions import (
+    OP_BRANCH,
     OP_LOAD,
+    OP_MAGIC,
+    OP_REP,
     OP_STORE,
     Instruction,
     InstructionBatch,
     InstructionKind,
     InstructionStream,
+    KernelInstructionBatch,
 )
 from repro.memhier.memory_system import MemoryAccessType, MemoryHierarchy, MemoryRequest
 from repro.mmu.mmu import MMU
@@ -265,6 +269,75 @@ class CoreModel:
         self.kernel_instructions += kernel_count
         self.breakdown.kernel_cycles = kernel_cycles
         self._c_kernel_instructions[0] += kernel_count
+        return consumed_total
+
+    def execute_kernel_batch(self, batch: KernelInstructionBatch) -> float:
+        """Execute an injected MimicOS batch (array-backed fast path).
+
+        Mirrors :meth:`execute_kernel_stream` instruction for instruction —
+        same latency charging, same float-accumulation order, same counter
+        increments — over :class:`~repro.core.instructions
+        .KernelInstructionBatch` parallel arrays, so ``kernel_cycles`` and
+        every kernel counter are bit-identical across engines while the hot
+        loop pays no per-instruction object or enum cost.  Like the stream
+        variant, the consumed cycles are returned (charged once by the
+        faulting instruction), not added to ``self.cycles``.
+        """
+        base_cpi = self.config.base_cpi
+        exposed_fraction = 1.0 - self.config.mlp_factor
+        memory = self.memory
+        access_value = memory.access_value
+        rep_iter = iter(batch.rep_values)
+        consumed_total = 0.0
+        kernel_cycles = self.breakdown.kernel_cycles
+        magic_count = 0
+        # Plain compute instructions (no operand) are the overwhelmingly
+        # common case, so they take the first branch; the float-accumulation
+        # order per instruction is unchanged from execute_kernel_stream.
+        # The executed-instruction count is recovered exactly afterwards as
+        # len(batch) - magic_count, saving an integer add per instruction.
+        for op, pc, address in zip(batch.kinds, batch.pcs, batch.addresses):
+            if address is None:
+                if op <= OP_BRANCH:
+                    consumed_total += base_cpi
+                    kernel_cycles += base_cpi
+                    continue
+                if op == OP_MAGIC:
+                    magic_count += 1
+                    continue
+                if op == OP_REP:
+                    # Bulk (rep-prefixed) work: one cycle per repetition.
+                    consumed = float(next(rep_iter))
+                    consumed_total += consumed
+                    kernel_cycles += consumed
+                    continue
+                # Load/store without an operand: charged like plain compute,
+                # exactly as execute_kernel_stream treats it.
+                consumed_total += base_cpi
+                kernel_cycles += base_cpi
+                continue
+            consumed = base_cpi
+            if op == OP_LOAD or op == OP_STORE:
+                is_write = op == OP_STORE
+                latency = access_value(address, is_write,
+                                       "kernel_zero" if is_write else "kernel", pc)
+                if not is_write:
+                    served_by = memory.last_served_by
+                    if served_by != "L1" and served_by != "none":
+                        exposed = latency - 4
+                        if exposed > 0:
+                            consumed += exposed * exposed_fraction
+                # Page-zeroing stores stream through the write-combining path
+                # exactly as in execute_kernel_stream: cost carried by the
+                # rep-counted instruction, accesses still pollute the caches.
+            consumed_total += consumed
+            kernel_cycles += consumed
+        kernel_count = len(batch.kinds) - magic_count
+        self.kernel_instructions += kernel_count
+        self.breakdown.kernel_cycles = kernel_cycles
+        self._c_kernel_instructions[0] += kernel_count
+        if magic_count:
+            self._c_magic_instructions[0] += magic_count
         return consumed_total
 
     # ------------------------------------------------------------------ #

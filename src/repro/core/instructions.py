@@ -6,16 +6,23 @@ instruction is deliberately minimal — a kind, an optional memory operand and
 the PC — because the core model only needs enough to charge issue slots and
 memory latency.
 
-Two stream representations coexist:
+Three stream representations coexist:
 
-* :class:`InstructionStream` — a list of :class:`Instruction` objects, used
-  by the kernel (MimicOS) instruction-injection path where streams are short
-  and carry per-instruction metadata (``repeat``, ``is_kernel``, MAGIC).
+* :class:`InstructionStream` — a list of :class:`Instruction` objects, the
+  compatibility representation used by the legacy engine and by tests that
+  inspect per-instruction metadata (``repeat``, ``is_kernel``, MAGIC).
 * :class:`InstructionBatch` — parallel arrays of opcodes, PCs and memory
   addresses, used by the application fast path.  Batches avoid one object
   allocation per dynamic instruction, which dominates host time at
   figure-scale instruction budgets; :meth:`CoreModel.execute_batch
   <repro.core.cpu.CoreModel.execute_batch>` consumes them directly.
+* :class:`KernelInstructionBatch` — the kernel-path analogue: the same
+  parallel arrays plus the kernel-only ``repeats`` column (``rep``-prefixed
+  bulk work such as page zeroing) and MAGIC stream terminators.
+  :meth:`CoreModel.execute_kernel_batch
+  <repro.core.cpu.CoreModel.execute_kernel_batch>` consumes them directly;
+  :meth:`KernelInstructionBatch.to_stream` materialises the equivalent
+  :class:`InstructionStream` on demand for legacy-engine and test code.
 """
 
 from __future__ import annotations
@@ -38,18 +45,23 @@ class InstructionKind(str, Enum):
 
 
 #: Integer opcodes used by the array-backed batches (cheaper than enum
-#: members in the hot loop).  Loads and stores are the two largest values so
-#: the core model can test ``op >= OP_LOAD`` for "is memory".
+#: members in the hot loop).  Application batches only ever contain the
+#: first four; ``OP_MAGIC`` (the stream terminator) and ``OP_REP`` (a
+#: repeat-counted bulk ALU instruction, e.g. ``rep stos`` page zeroing)
+#: appear in kernel batches only and never carry a memory operand.
 OP_ALU = 0
 OP_BRANCH = 1
 OP_LOAD = 2
 OP_STORE = 3
+OP_MAGIC = 4
+OP_REP = 5
 
 KIND_TO_OP = {
     InstructionKind.ALU: OP_ALU,
     InstructionKind.BRANCH: OP_BRANCH,
     InstructionKind.LOAD: OP_LOAD,
     InstructionKind.STORE: OP_STORE,
+    InstructionKind.MAGIC: OP_MAGIC,
 }
 OP_TO_KIND = {op: kind for kind, op in KIND_TO_OP.items()}
 
@@ -112,8 +124,8 @@ class InstructionBatch:
 
     ``kinds[i]`` is one of the ``OP_*`` opcodes, ``pcs[i]`` the program
     counter and ``addresses[i]`` the memory operand (``None`` for non-memory
-    instructions).  Batches carry application instructions only: kernel
-    streams keep using :class:`InstructionStream` because they need
+    instructions).  Batches carry application instructions only; kernel
+    streams use :class:`KernelInstructionBatch`, which additionally encodes
     ``repeat``/MAGIC metadata.
     """
 
@@ -148,6 +160,16 @@ class InstructionBatch:
             append(instruction)
         return batch
 
+    @classmethod
+    def from_arrays(cls, kinds: List[int], pcs: List[int],
+                    addresses: List[Optional[int]]) -> "InstructionBatch":
+        """Adopt pre-built parallel arrays (the vectorised generators' path)."""
+        batch = cls()
+        batch.kinds = kinds
+        batch.pcs = pcs
+        batch.addresses = addresses
+        return batch
+
     def iter_instructions(self) -> Iterator[Instruction]:
         """Yield equivalent :class:`Instruction` objects (test/debug helper)."""
         for op, pc, address in zip(self.kinds, self.pcs, self.addresses):
@@ -158,3 +180,75 @@ class InstructionBatch:
         """Number of loads and stores in the batch."""
         return sum(1 for op, address in zip(self.kinds, self.addresses)
                    if address is not None and op >= OP_LOAD)
+
+
+class KernelInstructionBatch:
+    """A MimicOS instruction stream stored as parallel arrays.
+
+    The kernel analogue of :class:`InstructionBatch`: ``kinds[i]`` is an
+    ``OP_*`` opcode (including ``OP_MAGIC`` terminators), ``pcs[i]`` the
+    synthetic kernel PC and ``addresses[i]`` the kernel-space memory operand
+    (``None`` for compute/magic slots).  Rep-prefixed bulk compute
+    instructions are stored as ``OP_REP`` opcodes whose repetition counts
+    live, in emission order, in the side list ``rep_values`` — keeping the
+    executor's common case (plain compute, repeat 1) free of a repeats
+    column.  Every instruction is implicitly ``is_kernel=True``.
+    """
+
+    __slots__ = ("name", "kinds", "pcs", "addresses", "rep_values")
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self.kinds: List[int] = []
+        self.pcs: List[int] = []
+        self.addresses: List[Optional[int]] = []
+        self.rep_values: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def append(self, op: int, pc: int, address: Optional[int] = None,
+               repeat: int = 1) -> None:
+        """Add one kernel instruction given its integer opcode.
+
+        A ``repeat`` greater than one turns the instruction into an
+        ``OP_REP`` bulk-compute record; only operand-less ALU work may carry
+        a repeat count (the instrumentation never repeats memory accesses).
+        """
+        if repeat > 1:
+            assert address is None, "repeat counts are compute-only"
+            self.kinds.append(OP_REP)
+            self.rep_values.append(repeat)
+        else:
+            self.kinds.append(op)
+        self.pcs.append(pc)
+        self.addresses.append(address)
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        """Yield equivalent :class:`Instruction` objects (compatibility view)."""
+        rep_iter = iter(self.rep_values)
+        for op, pc, address in zip(self.kinds, self.pcs, self.addresses):
+            if op == OP_REP:
+                yield Instruction(kind=InstructionKind.ALU, pc=pc,
+                                  memory_address=address, is_kernel=True,
+                                  repeat=next(rep_iter))
+            else:
+                yield Instruction(kind=OP_TO_KIND[op], pc=pc, memory_address=address,
+                                  is_kernel=True)
+
+    def to_stream(self) -> InstructionStream:
+        """Materialise the batch as an :class:`InstructionStream`.
+
+        The conversion is performed only when a consumer actually needs
+        per-instruction objects (the legacy engine, tests, debug dumps); the
+        batch engine executes the arrays directly and never pays for it.
+        """
+        stream = InstructionStream(name=self.name)
+        stream.instructions = list(self.iter_instructions())
+        return stream
+
+    @property
+    def memory_instructions(self) -> int:
+        """Number of loads and stores in the batch."""
+        return sum(1 for op, address in zip(self.kinds, self.addresses)
+                   if address is not None and (op == OP_LOAD or op == OP_STORE))

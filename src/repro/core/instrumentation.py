@@ -26,7 +26,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.stats import Counter
-from repro.core.instructions import Instruction, InstructionKind, InstructionStream
+from repro.core.instructions import (
+    OP_ALU,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    InstructionStream,
+    KernelInstructionBatch,
+)
 from repro.mimicos.ops import KernelOp, KernelRoutineTrace
 
 
@@ -87,15 +94,31 @@ class InstrumentationTool:
     # ------------------------------------------------------------------ #
     # Expansion
     # ------------------------------------------------------------------ #
-    def expand(self, trace: KernelRoutineTrace) -> InstructionStream:
-        """Expand one kernel routine trace into an instruction stream."""
-        stream = InstructionStream(name=trace.routine)
+    def expand_batch(self, trace: KernelRoutineTrace) -> KernelInstructionBatch:
+        """Expand one kernel routine trace into an array-backed batch.
+
+        This is the primary expansion path: the parallel arrays are built
+        directly (no per-instruction objects) and executed as-is by
+        :meth:`CoreModel.execute_kernel_batch
+        <repro.core.cpu.CoreModel.execute_kernel_batch>`.
+        """
+        batch = KernelInstructionBatch(name=trace.routine)
         pc = self.KERNEL_PC_BASE
         for op in trace.ops:
-            pc = self._expand_op(op, stream, pc)
+            pc = self._expand_op(op, batch, pc)
         self.counters.add("routines_instrumented")
-        self.counters.add("instructions_generated", len(stream))
-        return stream
+        self.counters.add("instructions_generated", len(batch))
+        return batch
+
+    def expand(self, trace: KernelRoutineTrace) -> InstructionStream:
+        """Expand one kernel routine trace into an instruction stream.
+
+        Compatibility view over :meth:`expand_batch` for the legacy engine
+        and for tests that inspect per-instruction metadata: the objects are
+        materialised from the arrays only when this method is called, so
+        both paths expand identically by construction.
+        """
+        return self.expand_batch(trace).to_stream()
 
     #: Operations expanded as bulk (rep-prefixed) work: the sampled memory
     #: touches are emitted normally and the compute cost is carried by a
@@ -103,9 +126,9 @@ class InstrumentationTool:
     #: multi-megabyte page zeroing.
     _BULK_OPERATIONS = {"zero_page"}
 
-    def _expand_op(self, op: KernelOp, stream: InstructionStream, pc: int) -> int:
+    def _expand_op(self, op: KernelOp, batch: KernelInstructionBatch, pc: int) -> int:
         if op.name in self._BULK_OPERATIONS:
-            return self._expand_bulk_op(op, stream, pc)
+            return self._expand_bulk_op(op, batch, pc)
         mix = _OPERATION_MIXES.get(op.name, _DEFAULT_MIX)
         alu_count = int(round(mix.fixed_overhead
                               + op.work_units * mix.alu_per_work_unit
@@ -122,7 +145,7 @@ class InstrumentationTool:
             alu_count = int(alu_count * scale)
             branch_count = int(branch_count * scale)
 
-        memory_touches = list(op.memory_touches)
+        memory_touches = op.memory_touches
         # Interleave ALU/branch instructions with the memory accesses so the
         # injected stream looks like real kernel code rather than a burst.
         total_compute = alu_count + branch_count
@@ -131,46 +154,49 @@ class InstrumentationTool:
 
         emitted_compute = 0
         for address, is_write in memory_touches:
-            emitted_compute += self._emit_compute(stream, pc, compute_per_touch,
+            emitted_compute += self._emit_compute(batch, pc, compute_per_touch,
                                                   branch_count, alu_count, emitted_compute)
-            kind = InstructionKind.STORE if is_write else InstructionKind.LOAD
-            stream.append(Instruction(kind=kind, pc=pc, memory_address=address,
-                                      is_kernel=True))
+            batch.append(OP_STORE if is_write else OP_LOAD, pc, address)
             pc += 4
         remaining = total_compute - emitted_compute
-        self._emit_compute(stream, pc, remaining, branch_count, alu_count, emitted_compute)
+        self._emit_compute(batch, pc, remaining, branch_count, alu_count, emitted_compute)
         if bulk_remainder > 0:
-            stream.append(Instruction(kind=InstructionKind.ALU, pc=pc, is_kernel=True,
-                                      repeat=bulk_remainder))
+            batch.append(OP_ALU, pc, repeat=bulk_remainder)
         return pc + 4 * max(0, remaining)
 
-    def _expand_bulk_op(self, op: KernelOp, stream: InstructionStream, pc: int) -> int:
+    def _expand_bulk_op(self, op: KernelOp, batch: KernelInstructionBatch, pc: int) -> int:
         """Expand a bulk operation (page zeroing) into touches + one rep instruction."""
-        for address, is_write in op.memory_touches:
-            kind = InstructionKind.STORE if is_write else InstructionKind.LOAD
-            stream.append(Instruction(kind=kind, pc=pc, memory_address=address,
-                                      is_kernel=True))
-            pc += 4
+        touches = op.memory_touches
+        count = len(touches)
+        if count:
+            # Whole-column extends instead of per-touch appends.
+            batch.kinds += [OP_STORE if is_write else OP_LOAD for _, is_write in touches]
+            batch.pcs += range(pc, pc + 4 * count, 4)
+            batch.addresses += [address for address, _ in touches]
+            pc += 4 * count
         repeat = max(1, int(op.work_units * self.full_system_factor))
-        stream.append(Instruction(kind=InstructionKind.ALU, pc=pc, is_kernel=True,
-                                  repeat=repeat))
+        batch.append(OP_ALU, pc, repeat=repeat)
         return pc + 4
 
-    def _emit_compute(self, stream: InstructionStream, pc: int, count: int,
+    def _emit_compute(self, batch: KernelInstructionBatch, pc: int, count: int,
                       branch_count: int, alu_count: int, already_emitted: int) -> int:
         if count <= 0:
             return 0
-        # Sprinkle branches proportionally through the compute instructions.
+        # Sprinkle branches proportionally through the compute instructions:
+        # a branch lands wherever (already_emitted + index) % interval == 0,
+        # written as one preallocated ALU block with a strided branch overlay.
         total = alu_count + branch_count
         branch_active = branch_count > 0 and total > 0
-        interval = max(1, total // max(1, branch_count)) if branch_active else 1
-        alu = InstructionKind.ALU
-        branch = InstructionKind.BRANCH
-        append = stream.instructions.append
-        for index in range(count):
-            is_branch = branch_active and (already_emitted + index) % interval == 0
-            append(Instruction(kind=branch if is_branch else alu,
-                               pc=pc + 4 * index, is_kernel=True))
+        kinds_block = [OP_ALU] * count
+        if branch_active:
+            interval = max(1, total // max(1, branch_count))
+            first = (-already_emitted) % interval
+            if first < count:
+                branch_slots = len(range(first, count, interval))
+                kinds_block[first::interval] = [OP_BRANCH] * branch_slots
+        batch.kinds += kinds_block
+        batch.pcs += range(pc, pc + 4 * count, 4)
+        batch.addresses += [None] * count
         return count
 
     # ------------------------------------------------------------------ #

@@ -118,6 +118,10 @@ class OSCoupling:
         self.functional_channel = FunctionalChannel()
         self.instruction_channel = InstructionStreamChannel()
         self.counters = Counter()
+        #: Kernel streams follow the host engine: array-backed batches on the
+        #: fast path, per-object streams on the legacy engine.  Simulated
+        #: statistics are bit-identical either way (see tests/test_fast_engine).
+        self.use_kernel_batches = simulation_config.engine == "batch"
         #: Per-fault latency in cycles (the Fig. 2 / 9 / 16 distributions).
         self.fault_latency = LatencyDistribution()
 
@@ -172,10 +176,16 @@ class ImitationCoupling(OSCoupling):
     def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
         self.counters.add("page_faults")
         result = self._dispatch_to_kernel(pid, virtual_address)
-        stream = self.instrumentation.expand(result.trace)
-        self.instruction_channel.push(stream)
-        injected = self.instruction_channel.pop()
-        execution_cycles = self.core.execute_kernel_stream(injected)
+        if self.use_kernel_batches:
+            batch = self.instrumentation.expand_batch(result.trace)
+            self.instruction_channel.push_batch(batch)
+            execution_cycles = self.core.execute_kernel_batch(
+                self.instruction_channel.pop())
+        else:
+            stream = self.instrumentation.expand(result.trace)
+            self.instruction_channel.push(stream)
+            execution_cycles = self.core.execute_kernel_stream(
+                self.instruction_channel.pop())
         latency = int(execution_cycles) + result.disk_latency_cycles
         latency = self._post_process_latency(latency, result)
         self.fault_latency.add(latency)
@@ -234,16 +244,23 @@ class FullSystemCoupling(ImitationCoupling):
         self._faults_since_background += 1
         if self._faults_since_background >= self.BACKGROUND_INTERVAL:
             self._faults_since_background = 0
-            latency += int(self.core.execute_kernel_stream(self._background_stream()))
+            latency += int(self._execute_background())
             self.counters.add("background_bursts")
         return latency, handled
 
-    def _background_stream(self) -> InstructionStream:
+    def _background_trace(self) -> KernelRoutineTrace:
         trace = KernelRoutineTrace(routine="kernel_background")
         op = trace.new_op("scheduler_tick", work_units=self.BACKGROUND_INSTRUCTIONS // 4)
         for index in range(16):
             op.touch(0xFFFF_9000_0000_0000 + index * 256, is_write=index % 4 == 0)
-        return self.instrumentation.expand(trace)
+        return trace
+
+    def _execute_background(self) -> float:
+        """Inject one background burst through the engine-selected kernel path."""
+        trace = self._background_trace()
+        if self.use_kernel_batches:
+            return self.core.execute_kernel_batch(self.instrumentation.expand_batch(trace))
+        return self.core.execute_kernel_stream(self.instrumentation.expand(trace))
 
 
 class ReferenceCoupling(ImitationCoupling):

@@ -62,14 +62,22 @@ class Cache:
         self._sets: List[List[_CacheLine]] = [
             [_CacheLine() for _ in range(self.associativity)] for _ in range(self.num_sets)
         ]
+        #: Per-set tag -> line index of the *valid* lines, kept in lockstep
+        #: with ``_sets`` so the hit path is a dict probe instead of an
+        #: associativity-wide scan (16-way at L2/L3).  Replacement decisions
+        #: still walk the ordered line list, so hit/miss/eviction statistics
+        #: are unchanged.
+        self._tag_maps: List[Dict[int, _CacheLine]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self._access_clock = 0
         self.counters = Counter()
         #: request_type -> (accesses, hits, misses) hot counter cells;
         #: populated lazily so only the request classes that actually reach
         #: this level pay for cells (and no per-access f-string formatting).
         self._type_cells: Dict[str, Tuple[List[int], List[int], List[int]]] = {}
-        self._fill_keys: Dict[str, str] = {}
-        self._pollution_keys: Dict[str, str] = {}
+        self._fill_cells: Dict[str, List[int]] = {}
+        self._pollution_cells: Dict[str, List[int]] = {}
         self._c_evictions = self.counters.hot("evictions")
         #: Identity of the line displaced by the most recent miss-fill.
         self.last_evicted_tag: Optional[int] = None
@@ -101,24 +109,24 @@ class Cache:
         """
         self._access_clock += 1
         block = address // self.line_size
-        lines = self._sets[block % self.num_sets]
+        set_index = block % self.num_sets
         tag = block // self.num_sets
 
         cells = self._type_cells.get(request_type)
         if cells is None:
             cells = self._cells_for(request_type)
         cells[0][0] += 1
-        for line in lines:
-            if line.valid and line.tag == tag:
-                cells[1][0] += 1
-                line.lru_stamp = self._access_clock
-                line.rrpv = 0
-                if is_write:
-                    line.dirty = True
-                return True
+        line = self._tag_maps[set_index].get(tag)
+        if line is not None:
+            cells[1][0] += 1
+            line.lru_stamp = self._access_clock
+            line.rrpv = 0
+            if is_write:
+                line.dirty = True
+            return True
 
         cells[2][0] += 1
-        self._fill(block % self.num_sets, tag, is_write, request_type)
+        self._fill(set_index, tag, is_write, request_type)
         return False
 
     def access(self, address: int, is_write: bool = False,
@@ -137,27 +145,28 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Return True if ``address`` is present without disturbing state."""
         set_index, tag = self._index_and_tag(address)
-        return any(line.valid and line.tag == tag for line in self._sets[set_index])
+        return tag in self._tag_maps[set_index]
 
     def fill(self, address: int, request_type: str = "prefetch") -> None:
         """Insert a line without counting it as a demand access (prefetch fill)."""
         set_index, tag = self._index_and_tag(address)
-        if any(line.valid and line.tag == tag for line in self._sets[set_index]):
+        if tag in self._tag_maps[set_index]:
             return
-        key = self._fill_keys.get(request_type)
-        if key is None:
-            key = self._fill_keys[request_type] = "fills_" + request_type
-        self.counters.add(key)
+        cell = self._fill_cells.get(request_type)
+        if cell is None:
+            cell = self._fill_cells[request_type] = \
+                self.counters.hot("fills_" + request_type)
+        cell[0] += 1
         self._fill(set_index, tag, is_write=False, request_type=request_type)
 
     def invalidate(self, address: int) -> bool:
         """Invalidate the line holding ``address``; returns True if it was present."""
         set_index, tag = self._index_and_tag(address)
-        for line in self._sets[set_index]:
-            if line.valid and line.tag == tag:
-                line.valid = False
-                self.counters.add("invalidations")
-                return True
+        line = self._tag_maps[set_index].pop(tag, None)
+        if line is not None:
+            line.valid = False
+            self.counters.add("invalidations")
+            return True
         return False
 
     def flush(self) -> None:
@@ -166,6 +175,8 @@ class Cache:
             for line in lines:
                 line.valid = False
                 line.dirty = False
+        for tag_map in self._tag_maps:
+            tag_map.clear()
 
     # ------------------------------------------------------------------ #
     # Replacement
@@ -173,27 +184,30 @@ class Cache:
     def _fill(self, set_index: int, tag: int, is_write: bool,
               request_type: str) -> None:
         lines = self._sets[set_index]
+        tag_map = self._tag_maps[set_index]
         victim = self._choose_victim(lines)
         evicted_tag: Optional[int] = None
         evicted_dirty = False
         if victim.valid:
+            del tag_map[victim.tag]
             evicted_tag = victim.tag * self.num_sets + set_index
             evicted_dirty = victim.dirty
             self._c_evictions[0] += 1
             if victim.request_type != request_type:
                 # A fill from one request class displaced another class's data:
                 # this is the cache-pollution effect the paper highlights.
-                key = self._pollution_keys.get(request_type)
-                if key is None:
-                    key = self._pollution_keys[request_type] = \
-                        "pollution_evictions_by_" + request_type
-                self.counters.add(key)
+                cell = self._pollution_cells.get(request_type)
+                if cell is None:
+                    cell = self._pollution_cells[request_type] = \
+                        self.counters.hot("pollution_evictions_by_" + request_type)
+                cell[0] += 1
         victim.tag = tag
         victim.valid = True
         victim.dirty = is_write
         victim.lru_stamp = self._access_clock
         victim.rrpv = self.SRRIP_INSERT_RRPV
         victim.request_type = request_type
+        tag_map[tag] = victim
         self.last_evicted_tag = evicted_tag
         self.last_evicted_dirty = evicted_dirty
 
@@ -202,7 +216,15 @@ class Cache:
             if not line.valid:
                 return line
         if self.replacement == "lru":
-            return min(lines, key=lambda line: line.lru_stamp)
+            # First line with the minimum stamp (same tie-break as min()).
+            victim = lines[0]
+            best = victim.lru_stamp
+            for line in lines:
+                stamp = line.lru_stamp
+                if stamp < best:
+                    best = stamp
+                    victim = line
+            return victim
         # SRRIP: evict a line with the maximum re-reference interval,
         # aging all lines until one is found.
         while True:

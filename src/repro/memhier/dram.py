@@ -66,10 +66,10 @@ class DRAMModel:
         self._c_row_misses = self.counters.hot("row_misses")
         self._c_row_hits = self.counters.hot("row_hits")
         self._c_row_conflicts = self.counters.hot("row_conflicts")
-        #: request_type -> cached counter-key strings (avoids per-access
-        #: f-string formatting on the hot path).
-        self._type_keys: Dict[str, Tuple[str, str, str, str]] = {}
-        self._victim_keys: Dict[str, str] = {}
+        #: request_type -> hot counter cells (avoids per-access f-string
+        #: formatting and dict-update counter adds on the hot path).
+        self._type_cells: Dict[str, tuple] = {}
+        self._victim_cells: Dict[str, list] = {}
         #: Outcome details of the most recent :meth:`access_value` call.
         self.last_row_hit = False
         self.last_row_conflict = False
@@ -103,16 +103,17 @@ class DRAMModel:
         channel, bank, row = self.map_address(address)
         state = self._banks[(channel, bank)]
 
-        keys = self._type_keys.get(request_type)
-        if keys is None:
-            keys = self._type_keys[request_type] = (
-                "accesses_" + request_type,
-                "row_hits_" + request_type,
-                "row_conflicts_" + request_type,
-                "row_conflicts_caused_by_" + request_type,
+        cells = self._type_cells.get(request_type)
+        if cells is None:
+            hot = self.counters.hot
+            cells = self._type_cells[request_type] = (
+                hot("accesses_" + request_type),
+                hot("row_hits_" + request_type),
+                hot("row_conflicts_" + request_type),
+                hot("row_conflicts_caused_by_" + request_type),
             )
         self._c_accesses[0] += 1
-        self.counters.add(keys[0])
+        cells[0][0] += 1
 
         row_hit = False
         row_conflict = False
@@ -123,20 +124,20 @@ class DRAMModel:
             latency = self.config.row_hit_latency
             row_hit = True
             self._c_row_hits[0] += 1
-            self.counters.add(keys[1])
+            cells[1][0] += 1
         else:
             latency = self.config.row_conflict_latency
             row_conflict = True
             self._c_row_conflicts[0] += 1
-            self.counters.add(keys[2])
+            cells[2][0] += 1
             # Attribute the conflict to the request class that caused the row
             # to be closed *and* the one whose row was evicted.
-            self.counters.add(keys[3])
-            victim_key = self._victim_keys.get(state.open_row_owner)
-            if victim_key is None:
-                victim_key = self._victim_keys[state.open_row_owner] = \
-                    "row_conflicts_victim_" + state.open_row_owner
-            self.counters.add(victim_key)
+            cells[3][0] += 1
+            victim_cell = self._victim_cells.get(state.open_row_owner)
+            if victim_cell is None:
+                victim_cell = self._victim_cells[state.open_row_owner] = \
+                    self.counters.hot("row_conflicts_victim_" + state.open_row_owner)
+            victim_cell[0] += 1
 
         if self.page_policy == "open":
             state.open_row = row

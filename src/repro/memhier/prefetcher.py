@@ -41,7 +41,9 @@ class IPStridePrefetcher(Prefetcher):
         self.degree = config.degree
         self.table_entries = config.table_entries
         self.line_size = line_size
-        self._table: Dict[int, Dict[str, int]] = {}
+        #: pc -> [last_address, stride, confidence] (a list, not a dict: the
+        #: observe path runs once per demand access at every cache level).
+        self._table: Dict[int, List[int]] = {}
 
     def observe(self, address: int, pc: int) -> List[int]:
         entry = self._table.get(pc)
@@ -49,18 +51,21 @@ class IPStridePrefetcher(Prefetcher):
             if len(self._table) >= self.table_entries:
                 # Evict the oldest entry (FIFO over insertion order).
                 self._table.pop(next(iter(self._table)))
-            self._table[pc] = {"last": address, "stride": 0, "confidence": 0}
+            self._table[pc] = [address, 0, 0]
             return []
-        stride = address - entry["last"]
+        stride = address - entry[0]
         prefetches: List[int] = []
-        if stride != 0 and stride == entry["stride"]:
-            entry["confidence"] = min(entry["confidence"] + 1, 3)
-            if entry["confidence"] >= 2:
+        if stride != 0 and stride == entry[1]:
+            confidence = entry[2] + 1
+            if confidence > 3:
+                confidence = 3
+            entry[2] = confidence
+            if confidence >= 2:
                 prefetches = [address + stride * i for i in range(1, self.degree + 1)]
         else:
-            entry["confidence"] = 0
-        entry["stride"] = stride
-        entry["last"] = address
+            entry[2] = 0
+        entry[1] = stride
+        entry[0] = address
         return prefetches
 
 
@@ -77,7 +82,8 @@ class StreamPrefetcher(Prefetcher):
         self.degree = config.degree
         self.table_entries = config.table_entries
         self.line_size = line_size
-        self._streams: Dict[int, Dict[str, int]] = {}
+        #: region -> [last_line, trained] (list entries; see IPStridePrefetcher).
+        self._streams: Dict[int, List[int]] = {}
 
     def observe(self, address: int, pc: int) -> List[int]:
         region = address // self.REGION_SIZE
@@ -86,13 +92,16 @@ class StreamPrefetcher(Prefetcher):
         if stream is None:
             if len(self._streams) >= self.table_entries:
                 self._streams.pop(next(iter(self._streams)))
-            self._streams[region] = {"last_line": line, "trained": 0}
+            self._streams[region] = [line, 0]
             return []
-        direction = 1 if line >= stream["last_line"] else -1
-        if abs(line - stream["last_line"]) == 1:
-            stream["trained"] = min(stream["trained"] + 1, 3)
-        stream["last_line"] = line
-        if stream["trained"] >= 1:
+        last_line = stream[0]
+        direction = 1 if line >= last_line else -1
+        delta = line - last_line
+        if delta == 1 or delta == -1:
+            trained = stream[1] + 1
+            stream[1] = 3 if trained > 3 else trained
+        stream[0] = line
+        if stream[1] >= 1:
             return [(line + direction * i) * self.line_size for i in range(1, self.degree + 1)]
         return []
 

@@ -28,9 +28,60 @@ from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind, VirtualMemoryArea
 
+try:  # numpy is optional: install the `[fast]` extra to vectorise generation.
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI images bundle numpy
+    _np = None
+
 #: Categories used by Fig. 1 and the workload registry.
 LONG_RUNNING = "long_running"
 SHORT_RUNNING = "short_running"
+
+#: Module switch for numpy-backed instruction-array construction.  The
+#: vectorised and pure-python generators emit bit-identical (kind, pc,
+#: address) sequences — RNG draws included — so this only moves host time.
+_VECTORIZE = _np is not None
+
+
+def numpy_available() -> bool:
+    """True when numpy is importable in this environment."""
+    return _np is not None
+
+
+def vectorization_enabled() -> bool:
+    """True when workload generators should build arrays through numpy."""
+    return _VECTORIZE
+
+
+def set_vectorization(enabled: bool) -> bool:
+    """Toggle numpy-backed generation; returns the effective state.
+
+    Requesting ``True`` without numpy installed silently stays on the
+    pure-python fallback (the sequences are identical either way).
+    """
+    global _VECTORIZE
+    _VECTORIZE = bool(enabled) and _np is not None
+    return _VECTORIZE
+
+
+def chunk_arrays(kinds: List[int], pcs: List[int], operands: List[Optional[int]],
+                 batch_size: int) -> Iterator[InstructionBatch]:
+    """Slice fully built parallel arrays into :class:`InstructionBatch` chunks.
+
+    The vectorised generators build whole-run (or whole-segment) arrays in
+    one shot and hand them here; memory stays bounded by the workload's
+    ``memory_operations`` budget, which is figure-scale (tens of thousands),
+    not trace-scale.
+    """
+    total = len(kinds)
+    if total <= batch_size:
+        if total:
+            yield InstructionBatch.from_arrays(kinds, pcs, operands)
+        return
+    for start in range(0, total, batch_size):
+        end = start + batch_size
+        yield InstructionBatch.from_arrays(kinds[start:end], pcs[start:end],
+                                           operands[start:end])
 
 
 class Workload:
@@ -134,7 +185,16 @@ class StreamBuilder:
 
         Produces the exact same (kind, pc, address) sequence — including RNG
         draw order — without allocating an :class:`Instruction` per record.
+        When numpy is available (and :func:`vectorization_enabled`), the
+        arrays are assembled wholesale instead of element by element.
         """
+        if _VECTORIZE:
+            return self._emit_batches_vectorized(addresses, writes, batch_size)
+        return self._emit_batches_scalar(addresses, writes, batch_size)
+
+    def _emit_batches_scalar(self, addresses: Iterable[int],
+                             writes: Optional[Iterable[bool]],
+                             batch_size: int) -> Iterator["InstructionBatch"]:
         write_iter = iter(writes) if writes is not None else None
         rng_random = self.rng.random
         write_fraction = self.write_fraction
@@ -176,6 +236,49 @@ class StreamBuilder:
         self._pc_cursor = cursor
         if count:
             yield batch
+
+    def _emit_batches_vectorized(self, addresses: Iterable[int],
+                                 writes: Optional[Iterable[bool]],
+                                 batch_size: int) -> Iterator["InstructionBatch"]:
+        """numpy assembly of the :meth:`emit` sequence.
+
+        The write draws are taken from the same RNG stream in the same order
+        as the scalar path (one :meth:`DeterministicRNG.random` per address),
+        then the kinds/pcs/operands columns are built as whole arrays.
+        """
+        np = _np
+        address_list = addresses if isinstance(addresses, list) else list(addresses)
+        n = len(address_list)
+        if n == 0:
+            return
+        compute_per_memory = self.compute_per_memory
+        per_operation = compute_per_memory + 1
+        if writes is not None:
+            write_iter = iter(writes)
+            write_flags = [bool(next(write_iter, False)) for _ in range(n)]
+        else:
+            write_fraction = self.write_fraction
+            write_flags = [draw < write_fraction
+                           for draw in self.rng.random_list(n)]
+
+        kinds = np.empty((n, per_operation), dtype=np.int64)
+        if compute_per_memory > 0:
+            kinds[:, :compute_per_memory] = OP_ALU
+            kinds[:, compute_per_memory - 1] = OP_BRANCH
+        kinds[:, compute_per_memory] = np.where(
+            np.asarray(write_flags, dtype=bool), OP_STORE, OP_LOAD)
+
+        total = n * per_operation
+        cursor = self._pc_cursor
+        pcs = self.pc_base + ((cursor + np.arange(total, dtype=np.int64))
+                              % self.pc_count) * 4
+        self._pc_cursor = cursor + total
+
+        operands = np.full((n, per_operation), None, dtype=object)
+        operands[:, compute_per_memory] = address_list
+
+        yield from chunk_arrays(kinds.reshape(-1).tolist(), pcs.tolist(),
+                                operands.reshape(-1).tolist(), batch_size)
 
 
 def strided_addresses(start: int, count: int, stride: int) -> Iterator[int]:

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, List, Tuple
 
 from repro.common.addresses import MB, PAGE_SIZE_4K
 from repro.common.rng import DeterministicRNG
@@ -26,7 +26,14 @@ from repro.core.instructions import (
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind
-from repro.workloads.base import LONG_RUNNING, SHORT_RUNNING, Workload
+from repro.workloads.base import (
+    LONG_RUNNING,
+    SHORT_RUNNING,
+    Workload,
+    _np,
+    chunk_arrays,
+    vectorization_enabled,
+)
 
 
 class IntensitySweepWorkload(Workload):
@@ -55,18 +62,41 @@ class IntensitySweepWorkload(Workload):
         for batch in self.instruction_batches(process):
             yield from batch.iter_instructions()
 
-    def instruction_batches(self, process: Process,
-                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
+    def _draw_accesses(self) -> Tuple[List[int], List[bool]]:
+        """Run the (inherently serial) RNG/address recurrence once.
+
+        The draw order — fraction draw, conditional random-target draw,
+        write draw, per operation — is exactly the stream the generators
+        consume, so the scalar and vectorised assemblies below see identical
+        addresses and write flags.
+        """
         rng = DeterministicRNG(self.seed)
         rng_random = rng.random
         rng_randint = rng.randint
-        vma = self._vma
-        start = vma.start
+        start = self._vma.start
+        span = self._vma.size - 64
         random_fraction = 0.1 + 0.85 * self.intensity
         sequential_offset = 0
-        span = vma.size - 64
+        addresses: List[int] = []
+        writes: List[bool] = []
+        for _ in range(self.memory_operations):
+            if rng_random() < random_fraction:
+                addresses.append(start + rng_randint(0, span))
+            else:
+                addresses.append(start + sequential_offset)
+                sequential_offset = (sequential_offset + 64) % span
+            writes.append(rng_random() < 0.3)
+        return addresses, writes
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
         compute = max(1, int(6 - 4 * self.intensity))
         compute_pcs = [0x470000 + c * 4 for c in range(compute)]
+        addresses, write_flags = self._draw_accesses()
+        if vectorization_enabled():
+            yield from self._assemble_vectorized(addresses, write_flags, compute,
+                                                 compute_pcs, batch_size)
+            return
 
         batch = InstructionBatch()
         kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
@@ -76,14 +106,9 @@ class IntensitySweepWorkload(Workload):
                 kinds.append(OP_ALU)
                 pcs.append(pc)
                 operands.append(None)
-            if rng_random() < random_fraction:
-                address = start + rng_randint(0, span)
-            else:
-                address = start + sequential_offset
-                sequential_offset = (sequential_offset + 64) % span
-            kinds.append(OP_STORE if rng_random() < 0.3 else OP_LOAD)
+            kinds.append(OP_STORE if write_flags[index] else OP_LOAD)
             pcs.append(0x471000 + (index % 16) * 4)
-            operands.append(address)
+            operands.append(addresses[index])
             count += compute + 1
             if count >= batch_size:
                 yield batch
@@ -92,6 +117,26 @@ class IntensitySweepWorkload(Workload):
                 count = 0
         if count:
             yield batch
+
+    def _assemble_vectorized(self, addresses: List[int], write_flags: List[bool],
+                             compute: int, compute_pcs: List[int],
+                             batch_size: int) -> Iterator[InstructionBatch]:
+        np = _np
+        n = len(addresses)
+        if n == 0:
+            return
+        per_operation = compute + 1
+        kinds = np.empty((n, per_operation), dtype=np.int64)
+        kinds[:, :compute] = OP_ALU
+        kinds[:, compute] = np.where(np.asarray(write_flags, dtype=bool),
+                                     OP_STORE, OP_LOAD)
+        pcs = np.empty((n, per_operation), dtype=np.int64)
+        pcs[:, :compute] = compute_pcs
+        pcs[:, compute] = 0x471000 + (np.arange(n, dtype=np.int64) % 16) * 4
+        operands = np.full((n, per_operation), None, dtype=object)
+        operands[:, compute] = addresses
+        yield from chunk_arrays(kinds.reshape(-1).tolist(), pcs.reshape(-1).tolist(),
+                                operands.reshape(-1).tolist(), batch_size)
 
 
 class KernelFractionMicrobenchmark(Workload):
@@ -127,15 +172,30 @@ class KernelFractionMicrobenchmark(Workload):
         for batch in self.instruction_batches(process):
             yield from batch.iter_instructions()
 
-    def instruction_batches(self, process: Process,
-                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
+    def _store_addresses(self) -> List[int]:
+        """The serial fresh-page walk (one RNG draw per operation)."""
         rng = DeterministicRNG(self.seed)
-        rng_random = rng.random
         vma = self._vma
         fresh_page_fraction = self.fresh_page_fraction
         fresh_page_index = 0
         warm_base = vma.start
         total_pages = vma.size // PAGE_SIZE_4K
+        addresses: List[int] = []
+        draws = rng.random_list(self.memory_operations)
+        for index in range(self.memory_operations):
+            if draws[index] < fresh_page_fraction and fresh_page_index < total_pages - 1:
+                fresh_page_index += 1
+                addresses.append(vma.start + fresh_page_index * PAGE_SIZE_4K)
+            else:
+                addresses.append(warm_base + (index % 8) * 64)
+        return addresses
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
+        addresses = self._store_addresses()
+        if vectorization_enabled():
+            yield from self._assemble_vectorized(addresses, batch_size)
+            return
 
         batch = InstructionBatch()
         kinds, pcs, operands = batch.kinds, batch.pcs, batch.addresses
@@ -147,14 +207,9 @@ class KernelFractionMicrobenchmark(Workload):
             kinds.append(OP_ALU)
             pcs.append(0x480004)
             operands.append(None)
-            if rng_random() < fresh_page_fraction and fresh_page_index < total_pages - 1:
-                fresh_page_index += 1
-                address = vma.start + fresh_page_index * PAGE_SIZE_4K
-            else:
-                address = warm_base + (index % 8) * 64
             kinds.append(OP_STORE)
             pcs.append(0x481000)
-            operands.append(address)
+            operands.append(addresses[index])
             count += 3
             if count >= batch_size:
                 yield batch
@@ -163,3 +218,22 @@ class KernelFractionMicrobenchmark(Workload):
                 count = 0
         if count:
             yield batch
+
+    def _assemble_vectorized(self, addresses: List[int],
+                             batch_size: int) -> Iterator[InstructionBatch]:
+        np = _np
+        n = len(addresses)
+        if n == 0:
+            return
+        kinds = np.empty((n, 3), dtype=np.int64)
+        kinds[:, 0] = OP_ALU
+        kinds[:, 1] = OP_ALU
+        kinds[:, 2] = OP_STORE
+        pcs = np.empty((n, 3), dtype=np.int64)
+        pcs[:, 0] = 0x480000
+        pcs[:, 1] = 0x480004
+        pcs[:, 2] = 0x481000
+        operands = np.full((n, 3), None, dtype=object)
+        operands[:, 2] = addresses
+        yield from chunk_arrays(kinds.reshape(-1).tolist(), pcs.reshape(-1).tolist(),
+                                operands.reshape(-1).tolist(), batch_size)

@@ -1,13 +1,19 @@
 """Fast-path invariance tests: the batch engine and the VPN translation
 cache must change *host* throughput only — never a simulated statistic.
 
-Three families:
+Five families:
 
 * batch streams — every array-native ``instruction_batches`` override must
   emit the exact (kind, pc, address) sequence of its ``instructions``;
+* vectorisation — the numpy-backed generators must emit the exact sequence
+  of the pure-python fallback (RNG draws included);
 * engine/cache invariance — legacy vs batch engine and VPN-cache on vs off
   must produce bit-identical reports (cycles, IPC, walks, TLB counters,
-  faults, memory-system counters);
+  faults, memory-system counters), including the kernel path
+  (``kernel_cycles``, ``kernel_instructions``, coupling/channel counters)
+  on fault-heavy workloads;
+* kernel batches — ``InstrumentationTool.expand_batch`` and its
+  ``expand`` compatibility view must describe the same instruction stream;
 * invalidation — ``activate_process``, TLB flushes and page-table unmaps
   must invalidate the VPN cache so no stale fast hit can occur.
 """
@@ -16,9 +22,14 @@ from dataclasses import replace
 
 import pytest
 
+import repro.workloads.base as workloads_base
 from repro.common.addresses import MB, PAGE_SIZE_4K
 from repro.common.config import CacheConfig, DRAMConfig, TLBConfig
+from repro.common.kernelops import KernelRoutineTrace
+from repro.core.channels import InstructionStreamChannel
 from repro.core.cpu import CoreModel
+from repro.core.instructions import KIND_TO_OP, OP_MAGIC, InstructionKind
+from repro.core.instrumentation import InstrumentationTool
 from repro.core.virtuoso import Virtuoso
 from repro.memhier.memory_system import MemoryHierarchy
 from repro.mimicos.kernel import MimicOS
@@ -34,7 +45,9 @@ from repro.workloads import (
     LLMInferenceWorkload,
     PointerChaseWorkload,
     SequentialWorkload,
+    StridedWorkload,
 )
+from repro.workloads.base import numpy_available, set_vectorization
 from tests.conftest import tiny_mimicos_config, tiny_system_config
 
 REPORT_FIELDS = [
@@ -47,9 +60,11 @@ REPORT_FIELDS = [
 ]
 
 
-def run_system(workload_factory, engine="batch", extensions=None, seed=7):
+def run_system(workload_factory, engine="batch", extensions=None, seed=7,
+               os_mode="imitation"):
     config = tiny_system_config()
-    config = config.with_simulation(replace(config.simulation, engine=engine))
+    config = config.with_simulation(replace(config.simulation, engine=engine,
+                                            os_mode=os_mode))
     system = Virtuoso(config, seed=seed, mmu_extensions=extensions)
     report = system.run(workload_factory())
     return system, report
@@ -93,6 +108,99 @@ class TestBatchStreamsMatchInstructionStreams:
         assert got == expected
 
 
+class TestVectorizedGenerationMatchesFallback:
+    """numpy-backed array construction must replay the pure-python path."""
+
+    WORKLOADS = [
+        lambda: GUPSWorkload(footprint_bytes=4 * MB, memory_operations=600, seed=3),
+        lambda: SequentialWorkload(footprint_bytes=4 * MB, memory_operations=600, seed=4),
+        lambda: StridedWorkload(footprint_bytes=4 * MB, memory_operations=300, seed=12),
+        lambda: PointerChaseWorkload(footprint_bytes=4 * MB, memory_operations=400, seed=5),
+        lambda: IntensitySweepWorkload(0.6, memory_operations=400, prefault=False, seed=6),
+        lambda: KernelFractionMicrobenchmark(0.5, memory_operations=400, seed=8),
+        lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+    ]
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @pytest.mark.parametrize("factory", WORKLOADS)
+    def test_vectorized_sequences_identical(self, factory):
+        kernel = MimicOS(tiny_mimicos_config(), PageTableConfig(kind="radix"))
+        process = kernel.create_process("veccheck")
+        workload = factory()
+        workload.setup(kernel, process)
+
+        def sequence(vectorize):
+            set_vectorization(vectorize)
+            try:
+                out = []
+                for batch in workload.instruction_batches(process, batch_size=257):
+                    out.extend(zip(batch.kinds, batch.pcs, batch.addresses))
+                return out
+            finally:
+                set_vectorization(True)
+
+        assert sequence(True) == sequence(False)
+
+    def test_set_vectorization_reports_effective_state(self):
+        original = workloads_base.vectorization_enabled()
+        try:
+            assert set_vectorization(False) is False
+            assert set_vectorization(True) is numpy_available()
+        finally:
+            set_vectorization(original)
+
+
+class TestKernelBatchExpansion:
+    """expand_batch and its expand() view must describe one stream."""
+
+    def make_trace(self):
+        trace = KernelRoutineTrace("do_page_fault")
+        entry = trace.new_op("fault_entry", work_units=6)
+        entry.touch(0xFFFF_8000_0000_1000, is_write=False)
+        alloc = trace.new_op("buddy_alloc", work_units=24)
+        alloc.touch(0xFFFF_8000_0000_2000, is_write=True)
+        alloc.touch(0xFFFF_8000_0000_2040, is_write=False)
+        zero = trace.new_op("zero_page", work_units=4096)
+        zero.touch(0xFFFF_8000_0000_3000, is_write=True)
+        trace.new_op("fault_return", work_units=2)
+        return trace
+
+    def test_expand_view_matches_batch(self):
+        tool = InstrumentationTool()
+        trace = self.make_trace()
+        batch = tool.expand_batch(trace)
+        stream = tool.expand(self.make_trace())
+        assert len(batch) == len(stream)
+        from_batch = [(i.kind, i.pc, i.memory_address, i.repeat, i.is_kernel)
+                      for i in batch.iter_instructions()]
+        from_stream = [(i.kind, i.pc, i.memory_address, i.repeat, i.is_kernel)
+                       for i in stream]
+        assert from_batch == from_stream
+        assert all(is_kernel for *_, is_kernel in from_batch)
+        assert any(repeat >= 4096 for *_, repeat, _ in from_batch)
+
+    def test_expansion_counters_exact_on_both_paths(self):
+        batch_tool = InstrumentationTool()
+        stream_tool = InstrumentationTool()
+        batch = batch_tool.expand_batch(self.make_trace())
+        stream = stream_tool.expand(self.make_trace())
+        assert batch_tool.stats() == stream_tool.stats()
+        assert batch_tool.stats()["instructions_generated"] == len(batch) == len(stream)
+        assert batch_tool.stats()["routines_instrumented"] == 1
+
+    def test_channel_batch_terminator_and_counts(self):
+        channel = InstructionStreamChannel()
+        tool = InstrumentationTool()
+        batch = tool.expand_batch(self.make_trace())
+        length = len(batch)
+        channel.push_batch(batch)
+        delivered = channel.pop()
+        assert delivered.kinds[-1] == OP_MAGIC
+        assert len(delivered) == length + 1
+        assert channel.total_instructions == length
+        assert channel.pop() is None
+
+
 class TestEngineInvariance:
     def test_batch_engine_matches_legacy_engine(self):
         factory = lambda: GUPSWorkload(footprint_bytes=4 * MB,
@@ -101,6 +209,36 @@ class TestEngineInvariance:
         system, batch = run_system(factory, engine="batch")
         assert_reports_identical(legacy, batch)
         assert system.mmu.fast_hits > 0
+
+    @pytest.mark.parametrize("os_mode", ["imitation", "full_system"])
+    def test_kernel_batch_matches_kernel_stream_on_fault_heavy(self, os_mode):
+        """The array-backed kernel path must be bit-identical to the
+        per-object path where it matters most: fault-dominated runs."""
+        for factory in (
+            lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+            lambda: KernelFractionMicrobenchmark(0.8, memory_operations=1500, seed=8),
+        ):
+            _, legacy = run_system(factory, engine="legacy", os_mode=os_mode)
+            _, batch = run_system(factory, engine="batch", os_mode=os_mode)
+            assert legacy.kernel_instructions > 0
+            assert batch.kernel_instructions == legacy.kernel_instructions
+            assert batch.details["core"]["breakdown"]["kernel"] == \
+                legacy.details["core"]["breakdown"]["kernel"]
+            assert batch.details["core"]["counters"] == legacy.details["core"]["counters"]
+            assert_reports_identical(legacy, batch)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_vectorization_on_off_invariance(self):
+        """Vectorised generation must not change a single simulated stat."""
+        factory = lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9)
+        try:
+            set_vectorization(True)
+            _, on = run_system(factory)
+            set_vectorization(False)
+            _, off = run_system(factory)
+        finally:
+            set_vectorization(True)
+        assert_reports_identical(on, off)
 
     def test_vpn_cache_on_off_invariance(self):
         for factory in (
