@@ -10,7 +10,9 @@ can detect host-throughput regressions.
 Both engines simulate the exact same system: the invariance tests in
 ``tests/test_fast_engine.py`` assert that every simulated statistic
 (cycles, IPC, TLB/walk/fault counters) is bit-identical between them, so
-KIPS is the only number that moves.
+KIPS is the only number that moves.  That invariance extends to the
+multi-core scenario (``multicore_contention``), where the engines execute
+the same interleaved chunk schedule.
 
 Run standalone from the repo root::
 
@@ -21,15 +23,17 @@ from __future__ import annotations
 
 import json
 import platform
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 from repro.common.addresses import MB
 from repro.common.config import SystemConfig, scaled_system_config
+from repro.core.multicore import MultiCoreVirtuoso
 from repro.core.virtuoso import Virtuoso
 from repro.workloads import GUPSWorkload, LLMInferenceWorkload, SequentialWorkload
 from repro.workloads.base import vectorization_enabled
+from repro.workloads.multiproc import contention_pair
 
 BENCH_PATH = Path(__file__).parent / "BENCH_perf.json"
 
@@ -44,15 +48,20 @@ REGRESSION_TOLERANCE = 0.30
 #: fault-heavy scenario (the PR-2 kernel-batch target).
 FAULT_HEAVY_TARGET_SPEEDUP = 2.0
 
+#: Minimum recorded batch-vs-legacy speedup on the multi-core contention
+#: scenario (the PR-3 multi-core batching target).
+MULTICORE_TARGET_SPEEDUP = 1.5
+
 #: KIPS of the *pre-fast-path* engine (seed tree, before the batch engine,
 #: VPN cache, hot counters and allocation-free memory path existed) measured
 #: on the same host and scenarios when this harness was introduced.  The
 #: in-repo "legacy" engine shares the layer-level optimisations, so these
 #: numbers preserve the true before/after of the fast-path work.
-#: Host-specific; refresh together with BENCH_perf.json.  ``llm_faults`` has
-#: no entry: the scenario postdates the seed engine, so its honest baseline
-#: is the in-repo legacy engine (whose kernel path matches the seed's
-#: per-object execution model).
+#: Host-specific; refresh together with BENCH_perf.json.  Scenarios that
+#: postdate the seed engine (``llm_faults``, ``multicore_contention``) have
+#: no entry: their honest baseline is the in-repo legacy engine, and their
+#: recorded ``pre_pr_seed_kips`` / ``speedup_vs_seed`` are ``null`` — never
+#: 0.0, which would read as a throughput regression.
 SEED_ENGINE_KIPS: Dict[str, float] = {
     "gups_smoke": 69.5,
     "sequential_stream": 97.1,
@@ -69,36 +78,64 @@ def perf_config(engine: str, os_mode: str = "imitation") -> SystemConfig:
                                           os_mode=os_mode))
 
 
-#: Scenario name -> (workload factory, OS-coupling mode).  Factories return
-#: a *fresh* workload because workloads keep per-run VMA state.
-SCENARIOS: Dict[str, Tuple[Callable[[], object], str]] = {
+@dataclass(frozen=True)
+class Scenario:
+    """One KIPS scenario: a workload factory plus the system it runs on.
+
+    ``factory`` returns a *fresh* workload (workloads keep per-run VMA
+    state) — or, when ``cores > 1``, a fresh *list* of workloads co-run on
+    a :class:`~repro.core.multicore.MultiCoreVirtuoso` with that many
+    simulated cores sharing the L2/LLC/DRAM and one MimicOS.
+    """
+
+    factory: Callable[[], object]
+    os_mode: str = "imitation"
+    cores: int = 1
+
+
+SCENARIOS: Dict[str, Scenario] = {
     # GUPS-style random access over a prefaulted footprint: the TLB- and
     # cache-hostile smoke scenario the perf gate watches.
-    "gups_smoke": (lambda: GUPSWorkload(footprint_bytes=8 * MB, memory_operations=5000,
-                                        prefault=True, seed=1), "imitation"),
+    "gups_smoke": Scenario(lambda: GUPSWorkload(footprint_bytes=8 * MB,
+                                                memory_operations=5000,
+                                                prefault=True, seed=1)),
     # Streaming sequential access: prefetcher- and fast-path-friendly.
-    "sequential_stream": (lambda: SequentialWorkload(footprint_bytes=8 * MB,
-                                                     memory_operations=8000,
-                                                     prefault=True, seed=2), "imitation"),
+    "sequential_stream": Scenario(lambda: SequentialWorkload(footprint_bytes=8 * MB,
+                                                             memory_operations=8000,
+                                                             prefault=True, seed=2)),
     # Token-by-token LLM inference: allocation/fault dominated, exercises the
     # MimicOS kernel-stream injection path.
-    "llm_allocation": (lambda: LLMInferenceWorkload("Bagel", scale=0.25), "imitation"),
+    "llm_allocation": Scenario(lambda: LLMInferenceWorkload("Bagel", scale=0.25)),
     # Fault-heavy, kernel-dominated inference under the full-system coupling:
     # ~99 % of simulated instructions come from MimicOS handler streams, so
     # this scenario isolates the array-backed kernel path (PR 2's tentpole).
-    "llm_faults": (lambda: LLMInferenceWorkload("Llama", scale=0.5,
-                                                weight_read_scale=0.05), "full_system"),
+    "llm_faults": Scenario(lambda: LLMInferenceWorkload("Llama", scale=0.5,
+                                                        weight_read_scale=0.05),
+                           os_mode="full_system"),
+    # Two GUPS processes on two simulated cores contending on the shared
+    # LLC/DRAM and on one MimicOS (PR 3's multi-core batching tentpole).
+    "multicore_contention": Scenario(lambda: contention_pair(footprint_bytes=8 * MB,
+                                                             memory_operations=5000,
+                                                             seed=1),
+                                     cores=2),
 }
 
 
 def run_scenario(name: str, engine: str, repeats: int = REPEATS) -> Dict[str, float]:
     """Run one scenario on one engine; returns the best-of-``repeats`` digest."""
-    factory, os_mode = SCENARIOS[name]
-    config = perf_config(engine, os_mode)
+    scenario = SCENARIOS[name]
+    config = perf_config(engine, scenario.os_mode)
     best = None
     for _ in range(repeats):
-        system = Virtuoso(config, seed=7)
-        report = system.run(factory())
+        if scenario.cores > 1:
+            system = MultiCoreVirtuoso(config, num_cores=scenario.cores, seed=7)
+            result = system.run(scenario.factory())
+            report = result.merged
+            fast_hits = sum(unit.mmu.fast_hits for unit in system.cores)
+        else:
+            system = Virtuoso(config, seed=7)
+            report = system.run(scenario.factory())
+            fast_hits = system.mmu.fast_hits
         simulated = report.instructions + report.kernel_instructions
         kips = simulated / 1000.0 / report.host_seconds if report.host_seconds > 0 else 0.0
         if best is None or kips > best["kips"]:
@@ -107,7 +144,7 @@ def run_scenario(name: str, engine: str, repeats: int = REPEATS) -> Dict[str, fl
                 "instructions": report.instructions,
                 "kernel_instructions": report.kernel_instructions,
                 "host_seconds": round(report.host_seconds, 4),
-                "fast_hits": system.mmu.fast_hits,
+                "fast_hits": fast_hits,
             }
     return best
 
@@ -115,23 +152,24 @@ def run_scenario(name: str, engine: str, repeats: int = REPEATS) -> Dict[str, fl
 def measure_all(repeats: int = REPEATS) -> Dict[str, object]:
     """Measure every scenario on both engines and assemble the report."""
     scenarios: Dict[str, object] = {}
-    for name in SCENARIOS:
+    for name, scenario in SCENARIOS.items():
         before = run_scenario(name, "legacy", repeats)
         after = run_scenario(name, "batch", repeats)
-        seed_kips = SEED_ENGINE_KIPS.get(name, 0.0)
+        seed_kips = SEED_ENGINE_KIPS.get(name)
         scenarios[name] = {
             "before_kips": before["kips"],
             "after_kips": after["kips"],
             "speedup": round(after["kips"] / before["kips"], 2) if before["kips"] else 0.0,
             "pre_pr_seed_kips": seed_kips,
-            "speedup_vs_seed": round(after["kips"] / seed_kips, 2) if seed_kips else 0.0,
+            "speedup_vs_seed": round(after["kips"] / seed_kips, 2) if seed_kips else None,
             "simulated_instructions": after["instructions"] + after["kernel_instructions"],
             "fast_hits": after["fast_hits"],
+            "cores": scenario.cores,
             "before": before,
             "after": after,
         }
     return {
-        "schema": "bench_perf/v2",
+        "schema": "bench_perf/v3",
         "engines": {"before": "legacy", "after": "batch"},
         "repeats": repeats,
         "host": {"python": platform.python_version(), "machine": platform.machine(),
@@ -142,6 +180,11 @@ def measure_all(repeats: int = REPEATS) -> Dict[str, object]:
 
 def main() -> None:
     results = measure_all()
+    # Preserve sections other tools own (the sweep digest) across rewrites.
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+        if "sweep" in previous:
+            results["sweep"] = previous["sweep"]
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {BENCH_PATH}")
     for name, row in results["scenarios"].items():

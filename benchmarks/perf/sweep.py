@@ -1,0 +1,107 @@
+"""Sweep-runner benchmark: host scaling of a figure-scale config grid.
+
+Runs a fixed 4-config grid through :func:`repro.experiments.run_sweep` at
+several worker counts, verifies the simulated statistics are identical for
+every worker count (the host-parallel determinism invariant), and records a
+digest into ``benchmarks/perf/BENCH_perf.json`` under the ``"sweep"`` key:
+per-worker-count wall-clock, the scaling factor of 2 workers over 1, and
+the host CPU count the digest was recorded on (the scaling gate in
+``test_perf_smoke.py`` only fires when the record was taken on a
+multi-core host — a single-CPU container cannot exhibit host scaling).
+
+Run standalone from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/sweep.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.sweep import SweepPoint, run_sweep, simulated_digest
+
+try:
+    # The package import pytest and in-repo tooling use; this tool only
+    # touches the record's "sweep" key (the harness preserves it on rewrite).
+    from benchmarks.perf.kips_harness import BENCH_PATH
+except ImportError:  # executed as a script: the module is a sibling file
+    from kips_harness import BENCH_PATH
+
+#: Near-linear host scaling target: 2 workers over a 4-config grid.
+SWEEP_SCALING_TARGET = 1.7
+
+#: The fixed 4-config grid: two workloads x two translation structures,
+#: figure-scale instruction budgets so each point runs for a measurable
+#: fraction of a second.
+SWEEP_GRID: List[SweepPoint] = [
+    SweepPoint(name="gups-radix", workload="RND",
+               workload_kwargs={"footprint_bytes": 8 << 20,
+                                "memory_operations": 8000,
+                                "prefault": True, "seed": 1}),
+    SweepPoint(name="gups-ech", workload="RND", page_table_kind="ech",
+               workload_kwargs={"footprint_bytes": 8 << 20,
+                                "memory_operations": 8000,
+                                "prefault": True, "seed": 1}),
+    SweepPoint(name="llm-bagel", workload="Bagel",
+               workload_kwargs={"scale": 0.25}),
+    SweepPoint(name="contention-2core", workload="contention_pair",
+               cores=2, processes=2,
+               workload_kwargs={"memory_operations": 4000, "seed": 1}),
+]
+
+
+def measure_scaling(points: Sequence[SweepPoint] = SWEEP_GRID,
+                    worker_counts: Tuple[int, ...] = (1, 2)) -> Dict[str, object]:
+    """Run ``points`` at each worker count and digest wall-clock scaling.
+
+    Raises if any worker count produces different simulated statistics —
+    host parallelism must never change a simulated number.
+    """
+    runs: Dict[int, Dict[str, object]] = {}
+    for workers in worker_counts:
+        runs[workers] = run_sweep(points, workers=workers)
+
+    reference_workers = worker_counts[0]
+    reference = simulated_digest(runs[reference_workers]["points"])
+    for workers in worker_counts[1:]:
+        got = simulated_digest(runs[workers]["points"])
+        if got != reference:
+            raise AssertionError(
+                f"sweep results diverged between workers={reference_workers} "
+                f"and workers={workers}")
+
+    wall = {workers: runs[workers]["wall_seconds"] for workers in worker_counts}
+    scaling_2w = None
+    if 1 in wall and 2 in wall and wall[2] > 0:
+        scaling_2w = round(wall[1] / wall[2], 2)
+    return {
+        "schema": "sweep_digest/v1",
+        "grid_points": len(points),
+        "host_cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "wall_seconds": {str(workers): seconds for workers, seconds in wall.items()},
+        "scaling_2_workers": scaling_2w,
+        "scaling_target": SWEEP_SCALING_TARGET,
+        "deterministic_across_workers": True,
+        "merged": runs[reference_workers]["merged"],
+        "points": runs[reference_workers]["points"],
+    }
+
+
+def main() -> None:
+    digest = measure_scaling()
+    data = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    data["sweep"] = digest
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote sweep digest to {BENCH_PATH}")
+    for workers, seconds in digest["wall_seconds"].items():
+        print(f"  {workers} worker(s): {seconds:.2f} s wall")
+    print(f"  2-worker scaling: {digest['scaling_2_workers']}x "
+          f"(target {SWEEP_SCALING_TARGET}x, host has {digest['host_cpus']} CPU(s))")
+
+
+if __name__ == "__main__":
+    main()

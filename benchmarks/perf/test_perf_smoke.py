@@ -1,18 +1,23 @@
 """Always-on perf smoke gate: fail if fast-path KIPS regresses past tolerance.
 
-Two scenarios are gated: GUPS (the application fast path) and ``llm_faults``
+Three scenarios are gated: GUPS (the application fast path), ``llm_faults``
 (the kernel-dominated fault-heavy scenario that isolates the array-backed
-MimicOS stream path).  Each compares throughput measured on this host
-against the value recorded in ``BENCH_perf.json`` and fails when it drops
-more than :data:`~benchmarks.perf.kips_harness.REGRESSION_TOLERANCE` (30 %)
-below the record.  Regenerate the record with::
+MimicOS stream path) and ``multicore_contention`` (two simulated cores
+sharing the LLC/DRAM — the multi-core batching path).  Each compares
+throughput measured on this host against the value recorded in
+``BENCH_perf.json`` and fails when it drops more than
+:data:`~benchmarks.perf.kips_harness.REGRESSION_TOLERANCE` (30 %) below the
+record.  Regenerate the record with::
 
     PYTHONPATH=src python benchmarks/perf/kips_harness.py
+    PYTHONPATH=src python benchmarks/perf/sweep.py
 
 Vectorised workload generation (numpy) is optional: the assertions that
 specifically concern the vectorised generators are skipped when numpy is
 absent, while the engine gates run either way (the pure-python fallback
-emits identical instruction sequences).
+emits identical instruction sequences).  The sweep host-scaling gate only
+fires when the digest was recorded on a multi-core host (a 1-CPU container
+cannot exhibit host scaling); the sweep *determinism* gate is always on.
 """
 
 from __future__ import annotations
@@ -24,7 +29,9 @@ import pytest
 from benchmarks.perf.kips_harness import (
     BENCH_PATH,
     FAULT_HEAVY_TARGET_SPEEDUP,
+    MULTICORE_TARGET_SPEEDUP,
     REGRESSION_TOLERANCE,
+    SEED_ENGINE_KIPS,
     run_scenario,
 )
 from repro.workloads.base import numpy_available, vectorization_enabled
@@ -32,10 +39,14 @@ from repro.workloads.base import numpy_available, vectorization_enabled
 pytestmark = pytest.mark.perf_smoke
 
 
-def test_gups_kips_no_regression():
+def recorded_bench():
     if not BENCH_PATH.exists():
         pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
-    recorded = json.loads(BENCH_PATH.read_text())
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_gups_kips_no_regression():
+    recorded = recorded_bench()
     row = recorded["scenarios"]["gups_smoke"]
     recorded_after = row["after_kips"]
     recorded_before = row["before_kips"]
@@ -69,9 +80,7 @@ def test_fast_engine_beats_legacy_on_gups():
 
 def test_fault_heavy_record_meets_target():
     """The recorded fault-heavy speedup must meet the kernel-batch target."""
-    if not BENCH_PATH.exists():
-        pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
-    recorded = json.loads(BENCH_PATH.read_text())
+    recorded = recorded_bench()
     row = recorded["scenarios"].get("llm_faults")
     assert row is not None, "BENCH_perf.json predates the llm_faults scenario"
     assert row["speedup"] >= FAULT_HEAVY_TARGET_SPEEDUP, (
@@ -88,9 +97,7 @@ def test_fault_heavy_kips_no_regression():
     Same host-normalisation as the GUPS gate: the legacy engine scales the
     record onto this machine so only genuine kernel-batch regressions fire.
     """
-    if not BENCH_PATH.exists():
-        pytest.skip("BENCH_perf.json not generated yet; run the KIPS harness first")
-    recorded = json.loads(BENCH_PATH.read_text())
+    recorded = recorded_bench()
     row = recorded["scenarios"].get("llm_faults")
     if row is None:
         pytest.skip("BENCH_perf.json predates the llm_faults scenario")
@@ -105,6 +112,89 @@ def test_fault_heavy_kips_no_regression():
         f"floor {floor:.1f}")
     assert measured["kips"] > measured_before["kips"], (
         "batch engine lost to legacy on the kernel-dominated scenario")
+
+
+def test_multicore_record_meets_target():
+    """The recorded multi-core contention speedup must meet the target."""
+    recorded = recorded_bench()
+    row = recorded["scenarios"].get("multicore_contention")
+    assert row is not None, ("BENCH_perf.json predates the multicore_contention "
+                             "scenario; regenerate it with the KIPS harness")
+    assert row.get("cores", 1) >= 2, "multicore_contention must simulate >= 2 cores"
+    assert row["speedup"] >= MULTICORE_TARGET_SPEEDUP, (
+        f"recorded multi-core speedup {row['speedup']}x is below the "
+        f"{MULTICORE_TARGET_SPEEDUP}x multi-core batching target")
+
+
+def test_multicore_kips_no_regression():
+    """Measured multi-core KIPS must stay within tolerance of the record."""
+    recorded = recorded_bench()
+    row = recorded["scenarios"].get("multicore_contention")
+    if row is None:
+        pytest.skip("BENCH_perf.json predates the multicore_contention scenario")
+
+    measured_before = run_scenario("multicore_contention", "legacy", repeats=2)
+    host_scale = min(1.0, measured_before["kips"] / row["before_kips"])
+    measured = run_scenario("multicore_contention", "batch", repeats=2)
+    floor = row["after_kips"] * host_scale * (1.0 - REGRESSION_TOLERANCE)
+    assert measured["kips"] >= floor, (
+        f"multi-core KIPS regressed: measured {measured['kips']:.1f}, "
+        f"recorded {row['after_kips']:.1f} (host scale {host_scale:.2f}), "
+        f"floor {floor:.1f}")
+    assert measured["kips"] > measured_before["kips"], (
+        "batch engine lost to legacy on the multi-core scenario")
+
+
+def test_seed_baselines_are_null_not_zero():
+    """Scenarios that postdate the seed engine must record ``null`` baselines.
+
+    A ``pre_pr_seed_kips`` of 0.0 with ``speedup_vs_seed`` 0.0 reads as a
+    total regression; the honest encoding for "no seed-engine measurement
+    exists" is ``null`` (omitting the comparison), and scenarios *with* a
+    seed baseline must show a genuine speedup over it.
+    """
+    recorded = recorded_bench()
+    for name, row in recorded["scenarios"].items():
+        seed_kips = row.get("pre_pr_seed_kips")
+        speedup = row.get("speedup_vs_seed")
+        if name in SEED_ENGINE_KIPS:
+            assert seed_kips and seed_kips > 0, (
+                f"{name}: expected a positive seed baseline, got {seed_kips!r}")
+            assert speedup and speedup > 1.0, (
+                f"{name}: fast-path engine should beat the seed engine, "
+                f"recorded {speedup!r}")
+        else:
+            assert seed_kips is None and speedup is None, (
+                f"{name}: scenarios without a seed-engine measurement must "
+                f"record null baselines, got pre_pr_seed_kips={seed_kips!r}, "
+                f"speedup_vs_seed={speedup!r}")
+
+
+def test_sweep_digest_recorded_and_deterministic():
+    """The sweep digest must exist and attest worker-count determinism."""
+    recorded = recorded_bench()
+    digest = recorded.get("sweep")
+    if digest is None:
+        pytest.skip("no sweep digest recorded yet; run benchmarks/perf/sweep.py")
+    assert digest["deterministic_across_workers"] is True
+    assert digest["grid_points"] >= 4, "sweep digest should cover a 4-config grid"
+    merged = digest["merged"]
+    assert merged["simulated_instructions"] > 0
+
+
+def test_sweep_host_scaling_meets_target():
+    """Near-linear host scaling, gated only on genuinely multi-core hosts."""
+    recorded = recorded_bench()
+    digest = recorded.get("sweep")
+    if digest is None:
+        pytest.skip("no sweep digest recorded yet; run benchmarks/perf/sweep.py")
+    if digest.get("host_cpus", 1) < 2:
+        pytest.skip(f"sweep digest recorded on a {digest.get('host_cpus', 1)}-CPU "
+                    "host; host scaling needs >= 2 CPUs")
+    scaling = digest.get("scaling_2_workers")
+    assert scaling is not None and scaling >= digest["scaling_target"], (
+        f"2-worker sweep scaling {scaling}x is below the "
+        f"{digest['scaling_target']}x near-linear target")
 
 
 def test_vectorized_generation_active():

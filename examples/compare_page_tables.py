@@ -19,6 +19,7 @@ from repro import Virtuoso, scaled_system_config
 from repro.analysis.reporting import format_table
 from repro.common.config import PageTableConfig
 from repro.workloads import GUPSWorkload
+from repro.workloads.base import vectorization_enabled
 
 DESIGNS = {
     "radix": PageTableConfig(kind="radix", pwc_entries=4, pwc_associativity=4),
@@ -36,13 +37,19 @@ def run_design(name: str, page_table: PageTableConfig):
     system = Virtuoso(config, seed=7)
     workload = GUPSWorkload(footprint_bytes=24 << 20, memory_operations=4000,
                             prefault=False)
-    return system.run(workload)
+    return config, system.run(workload)
 
 
 def main() -> None:
     rows = []
+    engine = "?"
+    total_simulated = 0
+    total_host_seconds = 0.0
     for name, page_table in DESIGNS.items():
-        report = run_design(name, page_table)
+        config, report = run_design(name, page_table)
+        engine = config.simulation.engine
+        total_simulated += report.instructions + report.kernel_instructions
+        total_host_seconds += report.host_seconds
         walks = max(1, report.page_walks)
         accesses_per_walk = (report.details["mmu"]["counters"]
                              .get("ptw_memory_accesses", 0) / walks)
@@ -59,6 +66,11 @@ def main() -> None:
          "translation row conflicts", "total MPF latency (kcyc)", "IPC"],
         rows,
         title="Page-table designs on a fragmented system (randacc workload)"))
+    print()
+    kips = total_simulated / 1000.0 / total_host_seconds if total_host_seconds else 0.0
+    generation = "numpy-vectorised" if vectorization_enabled() else "pure-python"
+    print(f"[{engine} engine, {generation} generation: {total_simulated:,} simulated "
+          f"instructions across {len(DESIGNS)} designs at {kips:,.0f} KIPS]")
 
 
 if __name__ == "__main__":

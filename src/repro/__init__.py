@@ -36,6 +36,7 @@ from repro.common.config import (
     real_system_reference_config,
     scaled_system_config,
 )
+from repro.core.multicore import MultiCoreRunResult, MultiCoreVirtuoso
 from repro.core.report import SimulationReport
 from repro.core.virtuoso import Virtuoso
 from repro.mimicos.kernel import MimicOS
@@ -46,6 +47,8 @@ __all__ = [
     "CASE_STUDY_PAGE_TABLES",
     "MimicOS",
     "MimicOSConfig",
+    "MultiCoreRunResult",
+    "MultiCoreVirtuoso",
     "PageTableConfig",
     "SimulationConfig",
     "SimulationReport",

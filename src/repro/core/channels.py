@@ -116,23 +116,31 @@ class InstructionStreamChannel:
     or array-backed :class:`KernelInstructionBatch` (batch).  Both are
     terminated and counted identically, so channel statistics are engine-
     invariant.
+
+    Every stream carries a *destination core index* (0 in single-core
+    systems).  A multi-core coupling tags each handler stream with the core
+    whose access faulted and drains it with :meth:`pop_for`, which verifies
+    the routing — an injected kernel stream must execute on the faulting
+    core, where it contends for that core's private L1/TLB state.
     """
 
     def __init__(self):
         self._streams: Deque[object] = deque()
+        self._destinations: Deque[int] = deque()
         self.counters = Counter()
 
-    def push(self, stream: InstructionStream) -> None:
-        """Producer side: enqueue a kernel instruction stream."""
+    def push(self, stream: InstructionStream, destination: int = 0) -> None:
+        """Producer side: enqueue a kernel instruction stream for one core."""
         terminated = InstructionStream(name=stream.name)
         terminated.extend(stream.instructions)
         terminated.append(Instruction(kind=InstructionKind.MAGIC, is_kernel=True))
         self._streams.append(terminated)
+        self._destinations.append(destination)
         self.counters.add("streams")
         self.counters.add("instructions", len(stream))
 
-    def push_batch(self, batch: KernelInstructionBatch) -> None:
-        """Producer side: enqueue an array-backed kernel batch.
+    def push_batch(self, batch: KernelInstructionBatch, destination: int = 0) -> None:
+        """Producer side: enqueue an array-backed kernel batch for one core.
 
         The magic terminator is appended to the batch in place (ownership
         transfers to the channel — producers hand over freshly expanded
@@ -143,11 +151,30 @@ class InstructionStreamChannel:
         self.counters.add("instructions", len(batch))
         batch.append(OP_MAGIC, 0)
         self._streams.append(batch)
+        self._destinations.append(destination)
 
     def pop(self):
         """Consumer side: dequeue the next stream or batch (None if empty)."""
         if not self._streams:
             return None
+        self._destinations.popleft()
+        return self._streams.popleft()
+
+    def pop_for(self, core_index: int):
+        """Dequeue the next stream, asserting it is routed to ``core_index``.
+
+        Multi-core consumers use this instead of :meth:`pop` so a
+        mis-routed kernel stream (executed on a core other than the one
+        whose access faulted) fails loudly instead of silently corrupting
+        per-core statistics.
+        """
+        if not self._streams:
+            return None
+        destination = self._destinations.popleft()
+        if destination != core_index:
+            raise RuntimeError(
+                f"kernel stream routed to core {destination} but popped by "
+                f"core {core_index}")
         return self._streams.popleft()
 
     @property

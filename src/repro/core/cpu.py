@@ -56,12 +56,21 @@ class ExecutionBreakdown:
 
 
 class CoreModel:
-    """A single simulated core executing application and kernel streams."""
+    """A single simulated core executing application and kernel streams.
 
-    def __init__(self, config: CoreConfig, mmu: MMU, memory: MemoryHierarchy):
+    ``core_index`` identifies the core inside a multi-core system (see
+    :class:`~repro.core.multicore.MultiCoreVirtuoso`); single-core systems
+    leave it at 0.  Each core owns its pipeline state (cycles, instruction
+    counts, stall breakdown) and issues memory traffic through its own
+    (possibly per-core) MMU and memory-hierarchy view.
+    """
+
+    def __init__(self, config: CoreConfig, mmu: MMU, memory: MemoryHierarchy,
+                 core_index: int = 0):
         self.config = config
         self.mmu = mmu
         self.memory = memory
+        self.core_index = core_index
         self.cycles: float = 0.0
         self.instructions: int = 0
         self.kernel_instructions: int = 0
@@ -365,6 +374,7 @@ class CoreModel:
     def stats(self) -> Dict[str, object]:
         """Counter snapshot plus the cycle breakdown."""
         return {
+            "core_index": self.core_index,
             "counters": self.counters.as_dict(),
             "cycles": self.cycles,
             "instructions": self.instructions,

@@ -23,7 +23,7 @@ Four modes are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.config import SimulationConfig
 from repro.common.rng import DeterministicRNG
@@ -124,6 +124,36 @@ class OSCoupling:
         self.use_kernel_batches = simulation_config.engine == "batch"
         #: Per-fault latency in cycles (the Fig. 2 / 9 / 16 distributions).
         self.fault_latency = LatencyDistribution()
+        #: Core the next kernel stream is routed to (multi-core systems
+        #: rebind this to the faulting core before dispatching the fault).
+        self._active_core_index = 0
+        #: Clock the kernel sees for time-dependent state (SSD channel
+        #: queues, swap aging).  Defaults to the active core's cycles; a
+        #: multi-core orchestrator installs a global clock instead, because
+        #: shared SSD queue state driven by divergent per-core clocks would
+        #: charge one core's future as another core's queueing delay.
+        self._clock: Optional[Callable[[], float]] = None
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install a system-wide clock for kernel-visible time."""
+        self._clock = clock
+
+    def _now_cycles(self) -> int:
+        if self._clock is not None:
+            return int(self._clock())
+        return int(self.core.cycles)
+
+    def bind_core(self, core: CoreModel, core_index: int = 0) -> None:
+        """Route subsequent kernel work to ``core``.
+
+        A multi-core orchestrator calls this from each core's fault callback
+        before delegating to :meth:`handle_page_fault`, so the handler's
+        instruction stream executes on — and its latency is charged to — the
+        core whose access actually faulted.  Single-core systems never
+        rebind; the core passed at construction stays active.
+        """
+        self.core = core
+        self._active_core_index = core_index
 
     def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
         """MMU fault callback: returns (latency in cycles, handled)."""
@@ -136,7 +166,7 @@ class OSCoupling:
         received = self.functional_channel.receive_request()
         assert received is request, "functional channel delivered the wrong request"
         result = self.kernel.handle_page_fault(pid, virtual_address,
-                                               now_cycles=int(self.core.cycles))
+                                               now_cycles=self._now_cycles())
         response = PageFaultResponse(sequence=sequence, handled=not result.segfault,
                                      physical_base=result.physical_base,
                                      page_size=result.page_size,
@@ -176,16 +206,17 @@ class ImitationCoupling(OSCoupling):
     def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
         self.counters.add("page_faults")
         result = self._dispatch_to_kernel(pid, virtual_address)
+        core_index = self._active_core_index
         if self.use_kernel_batches:
             batch = self.instrumentation.expand_batch(result.trace)
-            self.instruction_channel.push_batch(batch)
+            self.instruction_channel.push_batch(batch, destination=core_index)
             execution_cycles = self.core.execute_kernel_batch(
-                self.instruction_channel.pop())
+                self.instruction_channel.pop_for(core_index))
         else:
             stream = self.instrumentation.expand(result.trace)
-            self.instruction_channel.push(stream)
+            self.instruction_channel.push(stream, destination=core_index)
             execution_cycles = self.core.execute_kernel_stream(
-                self.instruction_channel.pop())
+                self.instruction_channel.pop_for(core_index))
         latency = int(execution_cycles) + result.disk_latency_cycles
         latency = self._post_process_latency(latency, result)
         self.fault_latency.add(latency)

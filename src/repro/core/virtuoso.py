@@ -168,52 +168,72 @@ class Virtuoso:
         return self._build_report_named(getattr(workload, "name", str(workload)), host_seconds)
 
     def _build_report_named(self, workload_name: str, host_seconds: float) -> SimulationReport:
-        mmu_counters = self.mmu.counters.as_dict()
-        dram = self.memory.dram
-        page_table = self.mmu.page_table
+        return build_report(workload_name, host_seconds, config=self.config,
+                            core=self.core, mmu=self.mmu, tlbs=self.tlbs,
+                            memory=self.memory, kernel=self.kernel,
+                            coupling=self.coupling)
 
-        frontend = 0
-        backend = 0
-        if page_table is not None and hasattr(page_table, "latency_breakdown"):
-            breakdown = page_table.latency_breakdown()
-            frontend = breakdown.get("frontend", 0)
-            backend = breakdown.get("backend", 0)
 
-        report = SimulationReport(
-            workload=workload_name,
-            config_name=self.config.name,
-            os_mode=self.config.simulation.os_mode,
-            instructions=self.core.instructions,
-            kernel_instructions=self.core.kernel_instructions,
-            cycles=self.core.cycles,
-            ipc=self.core.ipc,
-            l2_tlb_misses=self.tlbs.l2_misses(),
-            page_walks=mmu_counters.get("page_walks", 0),
-            average_ptw_latency=self.mmu.average_ptw_latency(),
-            total_ptw_latency=self.mmu.total_ptw_latency(),
-            total_translation_latency=self.mmu.total_translation_latency(),
-            frontend_translation_cycles=frontend,
-            backend_translation_cycles=backend,
-            page_faults=mmu_counters.get("page_faults", 0),
-            major_faults=self.coupling.counters.get("major_faults"),
-            fault_latency=self.coupling.fault_latency,
-            total_fault_latency=self.coupling.fault_latency.total,
-            swapped_pages=self.kernel.swap.counters.get("swap_outs"),
-            swap_cycles=self.kernel.swap.swap_cycles,
-            dram_accesses=dram.counters.get("accesses"),
-            dram_row_conflicts=dram.counters.get("row_conflicts"),
-            dram_row_conflicts_translation=dram.translation_row_conflicts(),
-            llc_misses=self.memory.l3.misses(),
-            translation_stall_cycles=self.core.breakdown.translation_cycles,
-            fault_stall_cycles=self.core.breakdown.fault_cycles,
-            data_stall_cycles=self.core.breakdown.data_stall_cycles,
-            host_seconds=host_seconds,
-        )
-        report.details = {
-            "mmu": self.mmu.stats(),
-            "core": self.core.stats(),
-            "kernel": self.kernel.stats(),
-            "coupling": self.coupling.stats(),
-            "memory": self.memory.stats(),
-        }
-        return report
+def build_report(workload_name: str, host_seconds: float, *, config: SystemConfig,
+                 core: CoreModel, mmu: MMU, tlbs: TLBHierarchy,
+                 memory: MemoryHierarchy, kernel: MimicOS,
+                 coupling: OSCoupling) -> SimulationReport:
+    """Assemble a :class:`SimulationReport` from one core's component set.
+
+    Shared by :class:`Virtuoso` (whose single core owns every component) and
+    the multi-core orchestrator's per-core reports, where ``core``/``mmu``/
+    ``tlbs``/``memory`` are that core's private models while ``kernel``,
+    ``coupling`` and the L2/LLC/DRAM levels behind ``memory`` are system-wide
+    — so in a multi-core system the fault-latency distribution, major-fault
+    count, swap and DRAM fields of a per-core report describe the whole
+    machine, not one core.
+    """
+    mmu_counters = mmu.counters.as_dict()
+    dram = memory.dram
+    page_table = mmu.page_table
+
+    frontend = 0
+    backend = 0
+    if page_table is not None and hasattr(page_table, "latency_breakdown"):
+        breakdown = page_table.latency_breakdown()
+        frontend = breakdown.get("frontend", 0)
+        backend = breakdown.get("backend", 0)
+
+    report = SimulationReport(
+        workload=workload_name,
+        config_name=config.name,
+        os_mode=config.simulation.os_mode,
+        instructions=core.instructions,
+        kernel_instructions=core.kernel_instructions,
+        cycles=core.cycles,
+        ipc=core.ipc,
+        l2_tlb_misses=tlbs.l2_misses(),
+        page_walks=mmu_counters.get("page_walks", 0),
+        average_ptw_latency=mmu.average_ptw_latency(),
+        total_ptw_latency=mmu.total_ptw_latency(),
+        total_translation_latency=mmu.total_translation_latency(),
+        frontend_translation_cycles=frontend,
+        backend_translation_cycles=backend,
+        page_faults=mmu_counters.get("page_faults", 0),
+        major_faults=coupling.counters.get("major_faults"),
+        fault_latency=coupling.fault_latency,
+        total_fault_latency=coupling.fault_latency.total,
+        swapped_pages=kernel.swap.counters.get("swap_outs"),
+        swap_cycles=kernel.swap.swap_cycles,
+        dram_accesses=dram.counters.get("accesses"),
+        dram_row_conflicts=dram.counters.get("row_conflicts"),
+        dram_row_conflicts_translation=dram.translation_row_conflicts(),
+        llc_misses=memory.l3.misses(),
+        translation_stall_cycles=core.breakdown.translation_cycles,
+        fault_stall_cycles=core.breakdown.fault_cycles,
+        data_stall_cycles=core.breakdown.data_stall_cycles,
+        host_seconds=host_seconds,
+    )
+    report.details = {
+        "mmu": mmu.stats(),
+        "core": core.stats(),
+        "kernel": kernel.stats(),
+        "coupling": coupling.stats(),
+        "memory": memory.stats(),
+    }
+    return report

@@ -1,0 +1,25 @@
+"""Experiment orchestration: figure-scale parameter sweeps over host cores.
+
+:mod:`repro.experiments.sweep` fans a grid of simulation configurations
+across ``multiprocessing`` workers with deterministic per-config RNG
+seeding and merges the resulting reports, so figure-scale sweeps scale
+with the host machine instead of running strictly sequentially.
+"""
+
+from repro.experiments.sweep import (
+    SweepPoint,
+    merge_point_digests,
+    point_seed,
+    run_point,
+    run_sweep,
+    simulated_digest,
+)
+
+__all__ = [
+    "SweepPoint",
+    "merge_point_digests",
+    "point_seed",
+    "run_point",
+    "run_sweep",
+    "simulated_digest",
+]

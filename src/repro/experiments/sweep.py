@@ -1,0 +1,187 @@
+"""Host-parallel sweep runner: fan a config grid across worker processes.
+
+A sweep is a list of :class:`SweepPoint` descriptions — each one names a
+workload (by registry name, so points are picklable) and the system knobs it
+runs under.  :func:`run_sweep` executes every point, either inline
+(``workers=1``, the sequential baseline) or on a ``multiprocessing`` pool,
+and merges the per-point report digests into one sweep digest.
+
+Determinism rules (the part that makes host parallelism safe):
+
+* every point's RNG seed is derived *from the point itself*
+  (:func:`point_seed` hashes the point name with :func:`zlib.crc32` — never
+  Python's salted ``hash``) — worker identity, scheduling order and worker
+  count cannot influence any simulated statistic;
+* each point builds its whole system inside the worker, so no simulator
+  state crosses process boundaries — only the input :class:`SweepPoint` and
+  the output digest dict travel (both plain picklable data);
+* results are collected with ``pool.map``, which preserves submission
+  order, so the merged digest is byte-identical no matter how many workers
+  ran it or how they were scheduled.
+
+``tests/test_fast_engine.py`` and the perf smoke gate assert the
+workers=1 vs workers=N digests are identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import zlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.addresses import MB
+from repro.common.config import PageTableConfig, SystemConfig, scaled_system_config
+
+
+@dataclass
+class SweepPoint:
+    """One configuration in a sweep grid.
+
+    ``workload`` is a :mod:`repro.workloads.registry` name (or, when
+    ``processes > 1``, a :data:`repro.workloads.multiproc
+    .MULTIPROCESS_SCENARIOS` name), so the point is picklable and the
+    workload objects are constructed inside the worker.
+    """
+
+    name: str
+    workload: str
+    workload_kwargs: Dict[str, object] = field(default_factory=dict)
+    physical_memory_bytes: int = 256 * MB
+    page_table_kind: str = "radix"
+    thp_policy: str = "linux"
+    os_mode: str = "imitation"
+    engine: str = "batch"
+    #: Simulated cores (>1 selects the multi-core orchestrator).
+    cores: int = 1
+    #: Co-running processes (used with ``cores``; needs a scenario name).
+    processes: int = 1
+    max_instructions: Optional[int] = None
+    #: Explicit system seed; None derives one from the point name.
+    seed: Optional[int] = None
+
+
+def point_seed(point: SweepPoint, base_seed: int = 0) -> int:
+    """Deterministic per-point seed: stable hash of the point name.
+
+    Uses :func:`zlib.crc32`, never the salted built-in ``hash``, so the
+    same grid reproduces the same seeds in every interpreter and worker.
+    """
+    if point.seed is not None:
+        return point.seed
+    digest = zlib.crc32(point.name.encode("utf-8"))
+    return (digest ^ (base_seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+def _build_config(point: SweepPoint) -> SystemConfig:
+    config = scaled_system_config(name=f"sweep-{point.name}",
+                                  physical_memory_bytes=point.physical_memory_bytes,
+                                  thp_policy=point.thp_policy,
+                                  fragmentation_target=1.0)
+    if point.page_table_kind != "radix":
+        config = config.with_page_table(PageTableConfig(kind=point.page_table_kind))
+    return config.with_simulation(replace(config.simulation, engine=point.engine,
+                                          os_mode=point.os_mode))
+
+
+def run_point(point: SweepPoint, base_seed: int = 0) -> Dict[str, object]:
+    """Build and run one sweep point; returns a picklable report digest."""
+    # Imports stay inside the worker entry point so a spawn-context pool
+    # (or a future worker without the parent's module state) is self-reliant.
+    from repro.core.multicore import MultiCoreVirtuoso
+    from repro.core.virtuoso import Virtuoso
+    from repro.workloads.multiproc import build_multiprocess_scenario
+    from repro.workloads.registry import build_workload
+
+    seed = point_seed(point, base_seed)
+    config = _build_config(point)
+    start = time.perf_counter()
+    if point.cores > 1 or point.processes > 1:
+        workloads = build_multiprocess_scenario(point.workload,
+                                                **point.workload_kwargs)
+        system = MultiCoreVirtuoso(config, num_cores=point.cores, seed=seed)
+        result = system.run(workloads, max_instructions=point.max_instructions)
+        report = result.merged
+    else:
+        workload = build_workload(point.workload, **point.workload_kwargs)
+        system = Virtuoso(config, seed=seed)
+        report = system.run(workload, max_instructions=point.max_instructions)
+    host_seconds = time.perf_counter() - start
+    simulated = report.instructions + report.kernel_instructions
+    return {
+        "name": point.name,
+        "seed": seed,
+        "workload": point.workload,
+        "engine": point.engine,
+        "cores": point.cores,
+        "simulated_instructions": simulated,
+        "kernel_instructions": report.kernel_instructions,
+        "cycles": report.cycles,
+        "ipc": round(report.ipc, 6),
+        "page_faults": report.page_faults,
+        "l2_tlb_misses": report.l2_tlb_misses,
+        "dram_accesses": report.dram_accesses,
+        "host_seconds": host_seconds,
+        "kips": round(simulated / 1000.0 / host_seconds, 1) if host_seconds else 0.0,
+    }
+
+
+def _worker(args) -> Dict[str, object]:
+    point, base_seed = args
+    return run_point(point, base_seed)
+
+
+def merge_point_digests(digests: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-point digests into sweep-level totals."""
+    total_instructions = sum(d["simulated_instructions"] for d in digests)
+    total_host = sum(d["host_seconds"] for d in digests)
+    return {
+        "points": len(digests),
+        "simulated_instructions": total_instructions,
+        "kernel_instructions": sum(d["kernel_instructions"] for d in digests),
+        "page_faults": sum(d["page_faults"] for d in digests),
+        "worker_seconds": round(total_host, 4),
+        "aggregate_kips": round(total_instructions / 1000.0 / total_host, 1)
+        if total_host else 0.0,
+    }
+
+
+def simulated_digest(digests: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The host-independent slice of per-point digests (for determinism
+    comparisons across worker counts: everything except host timings)."""
+    host_keys = ("host_seconds", "kips")
+    return [{key: value for key, value in digest.items() if key not in host_keys}
+            for digest in digests]
+
+
+def run_sweep(points: Sequence[SweepPoint], workers: Optional[int] = None,
+              base_seed: int = 0) -> Dict[str, object]:
+    """Run every point and return the sweep digest.
+
+    ``workers=1`` runs inline (no pool — the sequential wall-clock
+    baseline); ``workers>1`` fans the grid over a ``multiprocessing`` pool.
+    The default uses every host core.  Simulated statistics are identical
+    for any worker count (see the module determinism rules).
+    """
+    if not points:
+        raise ValueError("need at least one sweep point")
+    if workers is None:
+        workers = max(1, os.cpu_count() or 1)
+    start = time.perf_counter()
+    if workers == 1:
+        results = [run_point(point, base_seed) for point in points]
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(_worker, [(point, base_seed) for point in points],
+                               chunksize=1)
+    wall_seconds = time.perf_counter() - start
+    return {
+        "workers": workers,
+        "host_cpus": os.cpu_count() or 1,
+        "wall_seconds": round(wall_seconds, 4),
+        "points": results,
+        "grid": [asdict(point) for point in points],
+        "merged": merge_point_digests(results),
+    }

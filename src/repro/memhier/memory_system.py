@@ -99,6 +99,29 @@ class MemoryHierarchy:
             l2_prefetcher=config.l2_prefetcher,
         )
 
+    @classmethod
+    def per_core_view(cls, shared: "MemoryHierarchy",
+                      config: SystemConfig) -> "MemoryHierarchy":
+        """A per-core view of ``shared``: private L1, shared L2/LLC/DRAM.
+
+        The view is a complete :class:`MemoryHierarchy` (the access path is
+        unchanged), but ``l2``/``l3``/``dram`` — and the L2 prefetcher, which
+        belongs to the shared L2 — *alias the shared hierarchy's objects*, so
+        co-running cores pollute each other's shared cache levels and contend
+        on the DRAM row buffers exactly as the single-hierarchy model would
+        charge one core.  The L1 cache, the L1 prefetcher and the request
+        counters are private, giving per-core attribution; ``last_served_by``
+        / ``last_row_conflict`` are per-view, so each core reads its own
+        outcome even though the levels are shared.
+        """
+        view = cls.from_system_config(config)
+        view.l2 = shared.l2
+        view.l3 = shared.l3
+        view.dram = shared.dram
+        view.l2_prefetcher = shared.l2_prefetcher
+        view._l2_prefetch_active = shared._l2_prefetch_active
+        return view
+
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #

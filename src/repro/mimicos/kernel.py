@@ -17,8 +17,8 @@ the relevant OS routines" knob of §4.1.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.addresses import GB, MB, PAGE_SIZE_2M, PAGE_SIZE_4K, align_down, page_number
 from repro.common.config import MimicOSConfig, PageTableConfig
@@ -87,6 +87,10 @@ class MimicOS:
         self._faults_since_khugepaged = 0
         self.processes: Dict[int, Process] = {}
         self._next_pid = 1
+        #: Runnable pids awaiting a core (FIFO, round-robin service).
+        self.run_queue: Deque[int] = deque()
+        #: Core index -> pid of the process currently switched in there.
+        self._running: Dict[int, int] = {}
         #: Resident anonymous pages in fault order, for kswapd-style reclaim:
         #: (pid, virtual base) -> (physical base, page size, frame owned by buddy)
         self._resident: "OrderedDict[Tuple[int, int], Tuple[int, int, bool]]" = OrderedDict()
@@ -163,6 +167,43 @@ class MimicOS:
         process.munmap(vma)
         self.counters.add("munmap_calls")
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling (the run queue the multi-core orchestrator drives)
+    # ------------------------------------------------------------------ #
+    def enqueue_runnable(self, pid: int) -> None:
+        """Mark ``pid`` runnable: append it to the run queue."""
+        if pid not in self.processes:
+            raise KeyError(f"unknown pid {pid}")
+        self.run_queue.append(pid)
+
+    def next_runnable(self) -> Optional[Process]:
+        """Pop the head of the run queue (None when empty)."""
+        while self.run_queue:
+            pid = self.run_queue.popleft()
+            process = self.processes.get(pid)
+            if process is not None:
+                return process
+        return None
+
+    def context_switch(self, core_index: int, process: Process) -> bool:
+        """Switch ``process`` in on ``core_index``; True if it migrated.
+
+        Pure bookkeeping — the hardware side of the switch (MMU context,
+        TLB flush) is the orchestrator's job; the kernel records which
+        process occupies which core, stamps the process's scheduling state
+        and counts switches and cross-core migrations.
+        """
+        self._running[core_index] = process.pid
+        migrated = process.note_scheduled(core_index)
+        self.counters.add("context_switches")
+        if migrated:
+            self.counters.add("process_migrations")
+        return migrated
+
+    def current_pid(self, core_index: int) -> Optional[int]:
+        """Pid of the process currently switched in on ``core_index``."""
+        return self._running.get(core_index)
 
     # ------------------------------------------------------------------ #
     # Page faults

@@ -26,6 +26,26 @@ class Process:
     #: The translation structure (set by MimicOS when the process is created).
     page_table: Optional[object] = None
     counters: Counter = field(default_factory=Counter)
+    #: Core this process last ran on (``None`` until first scheduled).  The
+    #: multi-core orchestrator compares it against the scheduling core to
+    #: detect migrations, which require a full TLB flush on the new core.
+    last_core: Optional[int] = None
+
+    def note_scheduled(self, core_index: int) -> bool:
+        """Record one scheduling-in on ``core_index``; True if it migrated.
+
+        Called by :meth:`MimicOS.context_switch
+        <repro.mimicos.kernel.MimicOS.context_switch>` when the process is
+        switched onto a core.  A migration is a schedule onto a different
+        core than the last one — the event after which the process must not
+        observe the new core's stale TLB contents.
+        """
+        migrated = self.last_core is not None and self.last_core != core_index
+        self.last_core = core_index
+        self.counters.add("time_slices")
+        if migrated:
+            self.counters.add("migrations")
+        return migrated
 
     def mmap(self, size: int, kind: VMAKind = VMAKind.ANONYMOUS,
              fixed_address: Optional[int] = None, allow_1g_pages: bool = False,

@@ -99,13 +99,22 @@ class _NestedWalkAdapter:
 
 
 class MMU:
-    """The per-core MMU model."""
+    """The per-core MMU model.
+
+    Each simulated core owns one MMU, which in turn owns that core's private
+    TLB hierarchy, VPN translation cache and translation context (pid + page
+    table) — so in a multi-core system every core translates against its own
+    context while the page tables themselves are shared kernel state.
+    ``core_index`` identifies the owning core (0 in single-core systems).
+    """
 
     def __init__(self, tlb_hierarchy: TLBHierarchy, memory: MemoryHierarchy,
-                 extensions: Optional[MMUExtensions] = None):
+                 extensions: Optional[MMUExtensions] = None,
+                 core_index: int = 0):
         self.tlbs = tlb_hierarchy
         self.memory = memory
         self.extensions = extensions or MMUExtensions()
+        self.core_index = core_index
         self.counters = Counter()
         self.ptw_latency_stats = RunningStats()
         self.translation_latency_stats = RunningStats()
@@ -163,6 +172,18 @@ class MMU:
         self._vpn_tlb_version = -1
         if flush_tlbs:
             self.tlbs.flush()
+
+    def migrate_in(self, pid: int, page_table: PageTableBase) -> None:
+        """Context-switch for a process migrating onto this core.
+
+        Identical to ``set_context(..., flush_tlbs=True)``; it exists to make
+        the migration semantics explicit: a process that last ran on another
+        core must never observe this core's stale TLB contents (this model
+        has no cross-core shootdowns, so a resident translation here may
+        predate unmaps performed while the process ran elsewhere), and the
+        per-core VPN translation cache is dropped with the context.
+        """
+        self.set_context(pid, page_table, flush_tlbs=True)
 
     def set_fault_callback(self, callback: FaultCallback) -> None:
         """Install the OS page-fault entry point (wired up by Virtuoso)."""
@@ -397,6 +418,7 @@ class MMU:
             "enabled": int(self.vpn_cache_enabled),
             "entries": len(self._vpn_cache) + len(self._vpn_cache_2m),
             "fast_hits": self.fast_hits,
+            "core_index": self.core_index,
         }
 
     # ------------------------------------------------------------------ #

@@ -31,6 +31,13 @@ from repro.workloads.image import (
 )
 from repro.workloads.llm import LLM_PROFILES, LLMInferenceWorkload
 from repro.workloads.micro import IntensitySweepWorkload, KernelFractionMicrobenchmark
+from repro.workloads.multiproc import (
+    MULTIPROCESS_SCENARIOS,
+    build_multiprocess_scenario,
+    contention_pair,
+    fault_storm,
+    streaming_mix,
+)
 from repro.workloads.registry import (
     LONG_RUNNING_WORKLOADS,
     SHORT_RUNNING_WORKLOADS,
@@ -52,6 +59,11 @@ __all__ = [
     "SHORT_RUNNING_WORKLOADS",
     "GRAPH_KERNELS",
     "LLM_PROFILES",
+    "MULTIPROCESS_SCENARIOS",
+    "build_multiprocess_scenario",
+    "contention_pair",
+    "fault_storm",
+    "streaming_mix",
     "Workload",
     "StreamBuilder",
     "GraphWorkload",

@@ -1,0 +1,86 @@
+"""Multi-process scenario builders for the multi-core orchestrator.
+
+A *scenario* is a list of fresh workloads meant to be co-scheduled on a
+:class:`~repro.core.multicore.MultiCoreVirtuoso` — one process per entry —
+chosen so the co-runners stress a specific shared resource:
+
+* :func:`contention_pair` — two GUPS-style random-access processes whose
+  combined footprint exceeds the shared LLC, so they evict each other's
+  lines and conflict in the DRAM row buffers (the classic multi-programmed
+  interference setup, and the ``multicore_contention`` KIPS scenario);
+* :func:`streaming_mix` — a random-access process co-running with a
+  streaming sequential process: the stream pollutes the LLC while the
+  random co-runner disrupts the stream's DRAM row locality;
+* :func:`fault_storm` — allocation-heavy LLM-inference processes that
+  contend on MimicOS itself (one kernel arbitrates every core's faults) as
+  much as on memory.
+
+Builders return *fresh* workload objects (workloads keep per-run VMA and
+RNG state) and derive each co-runner's seed deterministically from the base
+seed, so scenarios are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.addresses import MB
+from repro.workloads.base import Workload
+from repro.workloads.hpc import GUPSWorkload
+from repro.workloads.llm import LLMInferenceWorkload
+from repro.workloads.synthetic import SequentialWorkload
+
+
+def contention_pair(footprint_bytes: int = 8 * MB,
+                    memory_operations: int = 5000,
+                    prefault: bool = True,
+                    seed: int = 1) -> List[Workload]:
+    """Two GUPS processes contending on the shared LLC and DRAM."""
+    return [
+        GUPSWorkload(footprint_bytes=footprint_bytes,
+                     memory_operations=memory_operations,
+                     prefault=prefault, seed=seed),
+        GUPSWorkload(footprint_bytes=footprint_bytes,
+                     memory_operations=memory_operations,
+                     prefault=prefault, seed=seed + 101),
+    ]
+
+
+def streaming_mix(footprint_bytes: int = 8 * MB,
+                  memory_operations: int = 5000,
+                  prefault: bool = True,
+                  seed: int = 1) -> List[Workload]:
+    """A random-access process co-running with a streaming process."""
+    return [
+        GUPSWorkload(footprint_bytes=footprint_bytes,
+                     memory_operations=memory_operations,
+                     prefault=prefault, seed=seed),
+        SequentialWorkload(footprint_bytes=footprint_bytes,
+                           memory_operations=memory_operations,
+                           prefault=prefault, seed=seed + 101),
+    ]
+
+
+def fault_storm(scale: float = 0.2, seed: int = 1) -> List[Workload]:
+    """Two allocation-bound LLM-inference processes hammering one MimicOS."""
+    return [
+        LLMInferenceWorkload("Bagel", scale=scale, seed=seed),
+        LLMInferenceWorkload("Mistral", scale=scale, seed=seed + 101),
+    ]
+
+
+#: Scenario name -> builder, for harnesses that select by name.
+MULTIPROCESS_SCENARIOS: Dict[str, Callable[..., List[Workload]]] = {
+    "contention_pair": contention_pair,
+    "streaming_mix": streaming_mix,
+    "fault_storm": fault_storm,
+}
+
+
+def build_multiprocess_scenario(name: str, **kwargs) -> List[Workload]:
+    """Instantiate the multi-process scenario registered under ``name``."""
+    builder = MULTIPROCESS_SCENARIOS.get(name)
+    if builder is None:
+        raise KeyError(f"unknown multi-process scenario {name!r}; "
+                       f"known: {sorted(MULTIPROCESS_SCENARIOS)}")
+    return builder(**kwargs)

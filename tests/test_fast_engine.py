@@ -1,7 +1,7 @@
 """Fast-path invariance tests: the batch engine and the VPN translation
 cache must change *host* throughput only — never a simulated statistic.
 
-Five families:
+Six families:
 
 * batch streams — every array-native ``instruction_batches`` override must
   emit the exact (kind, pc, address) sequence of its ``instructions``;
@@ -14,8 +14,15 @@ Five families:
   on fault-heavy workloads;
 * kernel batches — ``InstrumentationTool.expand_batch`` and its
   ``expand`` compatibility view must describe the same instruction stream;
-* invalidation — ``activate_process``, TLB flushes and page-table unmaps
-  must invalidate the VPN cache so no stale fast hit can occur.
+* invalidation — ``activate_process``, TLB flushes, core migration and
+  page-table unmaps must invalidate the VPN cache so no stale fast hit can
+  occur;
+* multi-core — a one-core one-task ``MultiCoreVirtuoso`` run must be
+  bit-identical to ``Virtuoso.run``; an interleaved single-core
+  multi-process run must be bit-identical between the batch engine and the
+  legacy (per-object) sequential equivalent, fault-heavy full-system runs
+  included; N-core runs must be deterministic across repeats and genuinely
+  share the L2/LLC/DRAM while keeping L1/TLB state private.
 """
 
 from dataclasses import replace
@@ -30,6 +37,7 @@ from repro.core.channels import InstructionStreamChannel
 from repro.core.cpu import CoreModel
 from repro.core.instructions import KIND_TO_OP, OP_MAGIC, InstructionKind
 from repro.core.instrumentation import InstrumentationTool
+from repro.core.multicore import MultiCoreVirtuoso
 from repro.core.virtuoso import Virtuoso
 from repro.memhier.memory_system import MemoryHierarchy
 from repro.mimicos.kernel import MimicOS
@@ -368,3 +376,240 @@ class TestTranslationPenaltyAccounting:
         core.execute(Instruction(kind=InstructionKind.LOAD, memory_address=0x1000))
         assert core.cycles == before + config.core.base_cpi
         assert core.breakdown.translation_cycles == 0.0
+
+
+def multicore_config(engine="batch", batch_size=1024, os_mode="imitation"):
+    config = tiny_system_config()
+    return config.with_simulation(replace(config.simulation, engine=engine,
+                                          batch_size=batch_size, os_mode=os_mode))
+
+
+def two_process_workloads():
+    return [
+        GUPSWorkload(footprint_bytes=4 * MB, memory_operations=2500, seed=5),
+        SequentialWorkload(footprint_bytes=4 * MB, memory_operations=2500, seed=6),
+    ]
+
+
+def fault_heavy_workloads():
+    return [
+        LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+        KernelFractionMicrobenchmark(0.8, memory_operations=1200, seed=8),
+    ]
+
+
+def _strip_host_diagnostics(core_details):
+    """Drop the VPN-cache diagnostics (host-side, engine-dependent by
+    design) so only simulated statistics are compared."""
+    stripped = []
+    for entry in core_details:
+        entry = dict(entry)
+        entry["mmu"] = {key: value for key, value in entry["mmu"].items()
+                        if key != "fast_path"}
+        stripped.append(entry)
+    return stripped
+
+
+def assert_merged_reports_identical(first, second):
+    for field in REPORT_FIELDS:
+        assert getattr(first, field) == getattr(second, field), field
+    assert _strip_host_diagnostics(first.details["cores"]) == \
+        _strip_host_diagnostics(second.details["cores"])
+    assert first.details["shared_memory"] == second.details["shared_memory"]
+    assert first.details["coupling"] == second.details["coupling"]
+    assert first.details["kernel"] == second.details["kernel"]
+
+
+class TestMultiCoreInvariance:
+    """Multi-core batching must never move a simulated statistic."""
+
+    def test_single_core_single_task_matches_virtuoso(self):
+        """num_cores=1 with one task is exactly a Virtuoso run."""
+        factory = lambda: GUPSWorkload(footprint_bytes=4 * MB,
+                                       memory_operations=1200, seed=5)
+        virtuoso = Virtuoso(multicore_config(), seed=7)
+        single = virtuoso.run(factory())
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=1, seed=7)
+        result = system.run([factory()])
+        assert_reports_identical(single, result.core_reports[0])
+
+    @pytest.mark.parametrize("os_mode", ["imitation", "full_system"])
+    def test_interleaved_batch_matches_legacy_equivalent(self, os_mode):
+        """The always-on invariant: a single-core multi-process run
+        interleaved in chunks must produce bit-identical statistics on the
+        batch engine and on the legacy (per-object) sequential equivalent,
+        fault-heavy full-system runs included."""
+        for factory in (two_process_workloads, fault_heavy_workloads):
+            batch = MultiCoreVirtuoso(multicore_config("batch", os_mode=os_mode),
+                                      num_cores=1, seed=7).run(factory())
+            legacy = MultiCoreVirtuoso(multicore_config("legacy", os_mode=os_mode),
+                                       num_cores=1, seed=7).run(factory())
+            assert_merged_reports_identical(batch.merged, legacy.merged)
+            assert batch.merged.instructions > 0
+
+    def test_two_core_batch_matches_legacy(self):
+        """Engine invariance holds with cores genuinely sharing L2/LLC/DRAM."""
+        batch = MultiCoreVirtuoso(multicore_config("batch"),
+                                  num_cores=2, seed=7).run(two_process_workloads())
+        legacy = MultiCoreVirtuoso(multicore_config("legacy"),
+                                   num_cores=2, seed=7).run(two_process_workloads())
+        assert_merged_reports_identical(batch.merged, legacy.merged)
+
+    @pytest.mark.parametrize("migrate_every", [None, 2])
+    def test_multicore_runs_deterministic(self, migrate_every):
+        """Repeated N-core runs (with and without the migration policy)
+        must be bit-identical."""
+        def run_once():
+            system = MultiCoreVirtuoso(multicore_config(batch_size=512),
+                                       num_cores=2, seed=7)
+            return system.run(two_process_workloads(),
+                              migrate_every=migrate_every)
+        first, second = run_once(), run_once()
+        assert_merged_reports_identical(first.merged, second.merged)
+        for a, b in zip(first.core_reports, second.core_reports):
+            for field in REPORT_FIELDS:
+                assert getattr(a, field) == getattr(b, field), field
+
+    def test_shared_levels_are_shared_and_l1_private(self):
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=2, seed=7)
+        first, second = system.cores
+        assert first.memory.l2 is second.memory.l2
+        assert first.memory.l3 is second.memory.l3
+        assert first.memory.dram is second.memory.dram
+        assert first.memory.l1 is not second.memory.l1
+        assert first.tlbs is not second.tlbs
+        assert first.mmu is not second.mmu
+        result = system.run(two_process_workloads())
+        # Both cores executed and issued traffic through their own L1s.
+        for report in result.core_reports:
+            assert report.instructions > 0
+        assert first.memory.l1.stats()["accesses_data"] > 0
+        assert second.memory.l1.stats()["accesses_data"] > 0
+
+    def test_contention_inflates_shared_misses(self):
+        """Co-running two cache-hostile processes on shared LLC/DRAM must
+        cost more than running one alone (the contention the multi-core
+        model exists to expose)."""
+        solo = MultiCoreVirtuoso(multicore_config(), num_cores=1, seed=7)
+        solo_result = solo.run([GUPSWorkload(footprint_bytes=4 * MB,
+                                             memory_operations=2500,
+                                             prefault=True, seed=5)])
+        duo = MultiCoreVirtuoso(multicore_config(), num_cores=2, seed=7)
+        duo_result = duo.run([
+            GUPSWorkload(footprint_bytes=4 * MB, memory_operations=2500,
+                         prefault=True, seed=5),
+            GUPSWorkload(footprint_bytes=4 * MB, memory_operations=2500,
+                         prefault=True, seed=106),
+        ])
+        assert duo_result.merged.llc_misses > solo_result.merged.llc_misses
+        assert duo_result.merged.dram_accesses > solo_result.merged.dram_accesses
+
+    def test_sweep_deterministic_across_worker_counts(self):
+        """Host parallelism must never change a simulated statistic: the
+        same tiny grid run inline (workers=1) and on a 2-worker pool must
+        produce identical simulated digests."""
+        from repro.experiments.sweep import SweepPoint, run_sweep, simulated_digest
+        points = [
+            SweepPoint(name=f"det-{index}", workload="RND",
+                       workload_kwargs={"footprint_bytes": 1 * MB,
+                                        "memory_operations": 300,
+                                        "prefault": True, "seed": index})
+            for index in range(3)
+        ]
+        inline = run_sweep(points, workers=1)
+        pooled = run_sweep(points, workers=2)
+        assert simulated_digest(inline["points"]) == \
+            simulated_digest(pooled["points"])
+        assert inline["merged"]["simulated_instructions"] > 0
+
+    def test_kernel_streams_routed_to_faulting_core(self):
+        """Fault-driven kernel work must execute on the faulting core: with
+        one fault-taking process per core, both cores accumulate kernel
+        instructions and the channel's routing assertions stay silent."""
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=2, seed=7)
+        result = system.run(fault_heavy_workloads())
+        for report in result.core_reports:
+            assert report.kernel_instructions > 0
+        total = sum(r.kernel_instructions for r in result.core_reports)
+        assert total == result.merged.kernel_instructions
+        assert system.coupling.counters.get("page_faults") > 0
+
+
+class TestMultiCoreContextSwitches:
+    """Context-switch and migration correctness: TLBs and the VPN
+    translation cache must never leak across processes or cores."""
+
+    def test_interleaving_context_switches_flush_tlbs(self):
+        system = MultiCoreVirtuoso(multicore_config(batch_size=512),
+                                   num_cores=1, seed=7)
+        result = system.run(two_process_workloads())
+        kernel_counters = result.merged.details["kernel"]["kernel"]
+        switches = kernel_counters.get("context_switches", 0)
+        assert switches > 2, "chunk interleaving should context-switch repeatedly"
+        unit = system.cores[0]
+        # Every switch flushed all four TLBs of the core.
+        assert unit.tlbs.l1d_4k.counters.get("flushes") == switches
+        assert unit.tlbs.l2.counters.get("flushes") == switches
+
+    def test_context_switch_invalidates_vpn_cache(self):
+        """After a run leaves VPN-cache entries behind, switching another
+        process in must drop them (set_context clears the per-core cache)."""
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=1, seed=7)
+        system.run([SequentialWorkload(footprint_bytes=1 * MB,
+                                       memory_operations=800, prefault=True,
+                                       seed=2)])
+        unit = system.cores[0]
+        assert unit.mmu.fast_hits > 0
+        other = system.create_process("other")
+        system.kernel.context_switch(unit.index, other)
+        unit.mmu.set_context(other.pid, other.page_table, flush_tlbs=True)
+        assert unit.mmu.fast_path_stats()["entries"] == 0
+
+    def test_migrate_in_flushes_tlbs_and_vpn_cache(self):
+        """MMU.migrate_in must behave exactly like a flushing set_context:
+        no TLB entry and no VPN-cache entry survives the migration."""
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=2, seed=7)
+        workload = SequentialWorkload(footprint_bytes=1 * MB,
+                                      memory_operations=800, prefault=True,
+                                      seed=2)
+        result = system.run([workload])
+        source = system.cores[0]
+        target = system.cores[1]
+        process = source.tasks[0].process
+        assert result.merged.instructions > 0
+        assert source.mmu.fast_hits > 0
+        # Warm the target core with the same process, then migrate in.
+        target.mmu.migrate_in(process.pid, process.page_table)
+        assert target.mmu.fast_path_stats()["entries"] == 0
+        assert target.tlbs.l1d_4k.counters.get("flushes") >= 1
+        assert target.mmu.pid == process.pid
+
+    def test_migration_policy_counts_and_stays_deterministic(self):
+        """Rotating assignment migrates processes across cores; the kernel
+        counts the migrations and results stay deterministic."""
+        def run_once():
+            system = MultiCoreVirtuoso(multicore_config(batch_size=256),
+                                       num_cores=2, seed=7)
+            result = system.run(two_process_workloads(), migrate_every=2)
+            return system, result
+        system, result = run_once()
+        kernel_counters = result.merged.details["kernel"]["kernel"]
+        assert kernel_counters.get("process_migrations", 0) > 0
+        for process in system.kernel.processes.values():
+            assert process.counters.get("time_slices") > 0
+        _, again = run_once()
+        assert_merged_reports_identical(result.merged, again.merged)
+
+    def test_run_queue_drives_assignment(self):
+        """Tasks are admitted through the MimicOS run queue and land on
+        cores round-robin in FIFO order."""
+        system = MultiCoreVirtuoso(multicore_config(), num_cores=2, seed=7)
+        workloads = two_process_workloads()
+        result = system.run(workloads)
+        assert len(system.cores[0].tasks) == 1
+        assert len(system.cores[1].tasks) == 1
+        assert system.cores[0].tasks[0].name == workloads[0].name
+        assert system.cores[1].tasks[0].name == workloads[1].name
+        assert not system.kernel.run_queue  # fully drained into the cores
+        assert system.kernel.current_pid(0) == system.cores[0].tasks[0].process.pid
+        assert result.merged.instructions > 0
