@@ -180,11 +180,13 @@ def measure_all(repeats: int = REPEATS) -> Dict[str, object]:
 
 def main() -> None:
     results = measure_all()
-    # Preserve sections other tools own (the sweep digest) across rewrites.
+    # Preserve sections other tools own (the sweep digest, the per-backend
+    # parity trajectory) across rewrites.
     if BENCH_PATH.exists():
         previous = json.loads(BENCH_PATH.read_text())
-        if "sweep" in previous:
-            results["sweep"] = previous["sweep"]
+        for owned_elsewhere in ("sweep", "backend_parity"):
+            if owned_elsewhere in previous:
+                results[owned_elsewhere] = previous[owned_elsewhere]
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {BENCH_PATH}")
     for name, row in results["scenarios"].items():

@@ -197,6 +197,37 @@ def test_sweep_host_scaling_meets_target():
         f"{digest['scaling_target']}x near-linear target")
 
 
+def test_backend_parity_digest_covers_the_zoo():
+    """The per-backend trajectory must cover every design, parity-verified.
+
+    The ``backend_parity`` section (written by
+    ``benchmarks/perf/parity_bench.py``) is the record that the batch
+    engine's speedup — and its bit-identity — holds on every translation
+    scheme, not just radix: at least five non-radix designs must carry a
+    batch-vs-legacy entry, every recorded backend must have verified
+    bit-identical engines, and the batch engine must not have been recorded
+    losing to legacy anywhere.
+    """
+    recorded = recorded_bench()
+    digest = recorded.get("backend_parity")
+    if digest is None:
+        pytest.skip("no backend parity digest yet; run "
+                    "benchmarks/perf/parity_bench.py")
+    backends = digest["backends"]
+    non_radix = [kind for kind in backends if kind != "radix"]
+    assert len(non_radix) >= 5, (
+        f"backend parity digest covers only {sorted(backends)}; the perf "
+        "trajectory must include at least 5 non-radix designs")
+    for kind, row in backends.items():
+        assert row["parity_identical"] is True, (
+            f"{kind}: recorded engines were NOT bit-identical — run "
+            "python -m repro.validation.parity --full and fix the divergence")
+        assert row["before_kips"] > 0 and row["after_kips"] > 0
+        assert row["speedup"] >= 1.0, (
+            f"{kind}: batch engine recorded slower than legacy "
+            f"({row['speedup']}x)")
+
+
 def test_vectorized_generation_active():
     """With numpy installed, the vectorised generators must be the default."""
     if not numpy_available():

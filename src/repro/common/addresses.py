@@ -25,6 +25,14 @@ PAGE_SIZE_1G = 1 * GB
 #: All page sizes supported by the x86-64 MMU model, smallest first.
 PAGE_SIZES: Tuple[int, ...] = (PAGE_SIZE_4K, PAGE_SIZE_2M, PAGE_SIZE_1G)
 
+#: Base of the fallback page-table-frame region used when no kernel frame
+#: allocator is wired up (standalone page tables in unit tests).  Placed at
+#: 64 TB — above any physical memory size a simulated system configures
+#: (the paper's largest is 256 GB) — so fallback frames can never alias real
+#: physical memory ranges; ``_BumpFrameAllocator`` asserts this at
+#: construction against the configured memory size.
+FALLBACK_FRAME_BASE = 1 << 46
+
 #: Number of bits of a 4-level x86-64 virtual address that are translated.
 VIRTUAL_ADDRESS_BITS = 48
 

@@ -182,6 +182,10 @@ class MultiCoreVirtuoso:
         self.coupling.set_clock(lambda: max(unit.core.cycles for unit in cores))
         for unit in self.cores:
             unit.mmu.set_fault_callback(self._fault_router(unit))
+            # Kernel unmaps/remaps broadcast a TLB shootdown to every core;
+            # each MMU acts only when it currently runs the target address
+            # space (the IPI filter real kernels apply).
+            self.kernel.register_tlb_listener(unit.mmu.invalidate_translation)
 
         #: Emulation-mode fixed-latency wrappers, keyed by pid.
         self._emulation_wrappers: Dict[int, FixedLatencyPageTable] = {}

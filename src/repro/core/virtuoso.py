@@ -58,6 +58,10 @@ class Virtuoso:
         self.core = CoreModel(config.core, self.mmu, self.memory)
         self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel, self.core)
         self.mmu.set_fault_callback(self.coupling.handle_page_fault)
+        # Kernel unmaps/remaps (reclaim, khugepaged, THP promotion, munmap,
+        # restrictive-mapping evictions) shoot stale translations out of the
+        # TLBs, exactly as the IPI-based shootdown does on real hardware.
+        self.kernel.register_tlb_listener(self.mmu.invalidate_translation)
 
         #: Emulation-mode fixed-latency wrappers, keyed by pid.
         self._emulation_wrappers: Dict[int, FixedLatencyPageTable] = {}

@@ -156,6 +156,26 @@ def simulated_digest(digests: Sequence[Dict[str, object]]) -> List[Dict[str, obj
             for digest in digests]
 
 
+def fan_out(worker, items: Sequence[object],
+            workers: Optional[int] = None) -> List[object]:
+    """Map ``worker`` over ``items`` inline or on a ``multiprocessing`` pool.
+
+    The shared fan-out primitive of the host-parallel runners (this sweep
+    module and the differential parity matrix in
+    :mod:`repro.validation.parity`): ``workers=1`` runs inline, ``workers>1``
+    uses a pool with ``pool.map`` (order-preserving, so results are
+    byte-identical for any worker count as long as ``worker`` is
+    deterministic in its item).  ``worker`` must be a module-level function
+    and every item picklable.
+    """
+    if workers is None:
+        workers = max(1, os.cpu_count() or 1)
+    if workers == 1:
+        return [worker(item) for item in items]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(worker, items, chunksize=1)
+
+
 def run_sweep(points: Sequence[SweepPoint], workers: Optional[int] = None,
               base_seed: int = 0) -> Dict[str, object]:
     """Run every point and return the sweep digest.
@@ -170,12 +190,8 @@ def run_sweep(points: Sequence[SweepPoint], workers: Optional[int] = None,
     if workers is None:
         workers = max(1, os.cpu_count() or 1)
     start = time.perf_counter()
-    if workers == 1:
-        results = [run_point(point, base_seed) for point in points]
-    else:
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_worker, [(point, base_seed) for point in points],
-                               chunksize=1)
+    results = fan_out(_worker, [(point, base_seed) for point in points],
+                      workers=workers)
     wall_seconds = time.perf_counter() - start
     return {
         "workers": workers,

@@ -22,7 +22,7 @@ the variability Figs. 2, 15 and 16 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.addresses import (
     PAGE_SIZE_1G,
@@ -69,7 +69,8 @@ class PageFaultHandler:
     def __init__(self, buddy: BuddyAllocator, slab: SlabAllocator,
                  hugetlbfs: HugeTLBFS, page_cache: PageCache, swap: SwapSubsystem,
                  thp_policy: THPPolicyBase, khugepaged: Khugepaged,
-                 zeroing_bytes_per_cycle: int = 64):
+                 zeroing_bytes_per_cycle: int = 64,
+                 tlb_shootdown: Optional[Callable[[int, int], None]] = None):
         self.buddy = buddy
         self.slab = slab
         self.hugetlbfs = hugetlbfs
@@ -78,6 +79,12 @@ class PageFaultHandler:
         self.thp_policy = thp_policy
         self.khugepaged = khugepaged
         self.zeroing_bytes_per_cycle = zeroing_bytes_per_cycle
+        #: Hardware invalidation hook ``(pid, vaddr)`` for the two fault
+        #: sub-paths that unmap *other* live pages: THP reservation
+        #: promotion (4 KB PTEs replaced by one 2 MB PTE) and
+        #: restrictive-mapping evictions (a victim page swapped out to make
+        #: room for the faulting one).
+        self.tlb_shootdown = tlb_shootdown
         self.counters = Counter()
 
     # ------------------------------------------------------------------ #
@@ -190,6 +197,8 @@ class PageFaultHandler:
             result.swapped_out_pages += 1
             if page_table is not None:
                 page_table.remove(evicted_va, trace)
+                if self.tlb_shootdown is not None:
+                    self.tlb_shootdown(evicted_pid, evicted_va)
         self._finish_fault(process, vma, virtual_address, allocation.address,
                            allocation.page_size, allocation.zeroing_bytes, result)
         result.fallback = allocation.fallback
@@ -288,8 +297,11 @@ class PageFaultHandler:
         pages = PAGE_SIZE_2M // PAGE_SIZE_4K
         removed = 0
         for index in range(pages):
-            if process.page_table.remove(region_va + index * PAGE_SIZE_4K, trace):
+            vaddr = region_va + index * PAGE_SIZE_4K
+            if process.page_table.remove(vaddr, trace):
                 removed += 1
+                if self.tlb_shootdown is not None:
+                    self.tlb_shootdown(process.pid, vaddr)
         process.page_table.insert(region_va, allocation.address, PAGE_SIZE_2M, trace)
         self.counters.add("thp_promotions")
         trace.new_op("thp_promotion_tlb_shootdown", work_units=64 + removed * 2)

@@ -18,7 +18,7 @@ the relevant OS routines" knob of §4.1.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.addresses import GB, MB, PAGE_SIZE_2M, PAGE_SIZE_4K, align_down, page_number
 from repro.common.config import MimicOSConfig, PageTableConfig
@@ -75,13 +75,20 @@ class MimicOS:
         self.ssd = ssd
         self.swap = SwapSubsystem(config.swap_size_bytes, ssd, self.kernel_space)
         self.thp_policy = build_thp_policy(config.thp_policy, self.buddy, config)
-        self.khugepaged = Khugepaged(self.buddy)
+        #: Hardware TLB-shootdown listeners, registered by the orchestrator
+        #: (one per simulated core's MMU).  Every path that unmaps or remaps
+        #: a live page — reclaim swap-out, khugepaged collapse, THP
+        #: promotion, munmap, restrictive-mapping eviction — must announce
+        #: the page here so no core keeps a stale translation.
+        self._tlb_listeners: List[Callable[[int, int], None]] = []
+        self.khugepaged = Khugepaged(self.buddy, tlb_shootdown=self.tlb_shootdown)
         self.fragmentation = FragmentationController(self.buddy, self.rng.fork(1))
         self.fault_handler = PageFaultHandler(
             buddy=self.buddy, slab=self.slab, hugetlbfs=self.hugetlbfs,
             page_cache=self.page_cache, swap=self.swap, thp_policy=self.thp_policy,
             khugepaged=self.khugepaged,
-            zeroing_bytes_per_cycle=config.zeroing_bytes_per_cycle)
+            zeroing_bytes_per_cycle=config.zeroing_bytes_per_cycle,
+            tlb_shootdown=self.tlb_shootdown)
 
         self.khugepaged_interval_faults = khugepaged_interval_faults
         self._faults_since_khugepaged = 0
@@ -159,6 +166,7 @@ class MimicOS:
                 if mapping is not None:
                     physical, size = mapping
                     process.page_table.remove(address)
+                    self.tlb_shootdown(process.pid, align_down(address, size))
                     self._release_frame(process.pid, align_down(address, size))
                     removed += 1
                     address += size
@@ -167,6 +175,23 @@ class MimicOS:
         process.munmap(vma)
         self.counters.add("munmap_calls")
         return removed
+
+    # ------------------------------------------------------------------ #
+    # TLB shootdowns (kernel -> hardware invalidation)
+    # ------------------------------------------------------------------ #
+    def register_tlb_listener(self, listener: Callable[[int, int], None]) -> None:
+        """Register a hardware invalidation callback ``(pid, vaddr) -> None``.
+
+        The orchestrator registers one listener per simulated core (its
+        MMU's :meth:`~repro.mmu.mmu.MMU.invalidate_translation`); a listener
+        ignores shootdowns for address spaces it is not currently running.
+        """
+        self._tlb_listeners.append(listener)
+
+    def tlb_shootdown(self, pid: int, virtual_address: int) -> None:
+        """Announce that the translation covering ``virtual_address`` died."""
+        for listener in self._tlb_listeners:
+            listener(pid, virtual_address)
 
     # ------------------------------------------------------------------ #
     # Scheduling (the run queue the multi-core orchestrator drives)
@@ -271,6 +296,7 @@ class MimicOS:
                 trace.disk_latency_cycles += latency
                 swapped += 1
             process.page_table.remove(virtual_base, trace)
+            self.tlb_shootdown(pid, virtual_base)
             if from_buddy:
                 self._release_frame(pid, virtual_base, physical)
             result.swapped_out_pages += swapped

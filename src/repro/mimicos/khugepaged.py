@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.common.addresses import PAGE_SIZE_2M, PAGE_SIZE_4K
 from repro.common.stats import Counter
@@ -43,10 +43,16 @@ class Khugepaged:
     PAGES_PER_REGION = PAGE_SIZE_2M // PAGE_SIZE_4K
 
     def __init__(self, buddy: BuddyAllocator, min_present_pages: int = 64,
-                 max_regions_per_scan: int = 8):
+                 max_regions_per_scan: int = 8,
+                 tlb_shootdown: Optional[Callable[[int, int], None]] = None):
         self.buddy = buddy
         self.min_present_pages = min_present_pages
         self.max_regions_per_scan = max_regions_per_scan
+        #: Hardware invalidation hook ``(pid, vaddr)``: a collapse rewrites
+        #: live translations (4 KB pages move into a fresh 2 MB frame), so
+        #: every removed page must be shot down from the TLBs or a core
+        #: would keep translating to the freed small frames.
+        self.tlb_shootdown = tlb_shootdown
         self._hints: Deque[Tuple[int, int]] = deque()
         self._hinted: set = set()
         self.counters = Counter()
@@ -129,6 +135,8 @@ class Khugepaged:
             copy_op.touch(old_physical, is_write=False)
             copy_op.touch(huge.address + offset, is_write=True)
             page_table.remove(vaddr)
+            if self.tlb_shootdown is not None:
+                self.tlb_shootdown(pid, vaddr)
             try:
                 self.buddy.free(old_physical)
             except ValueError:

@@ -189,6 +189,24 @@ class MMU:
         """Install the OS page-fault entry point (wired up by Virtuoso)."""
         self.fault_callback = callback
 
+    def invalidate_translation(self, pid: int, virtual_address: int) -> None:
+        """Kernel-initiated TLB shootdown for one page of ``pid``.
+
+        Called (through :meth:`repro.mimicos.kernel.MimicOS.tlb_shootdown`)
+        whenever the kernel unmaps or remaps a page outside the normal
+        fill path — swap-out reclaim, khugepaged collapse, THP promotion,
+        munmap, restrictive-mapping evictions — so no stale translation
+        survives in this core's TLBs.  Like a real IPI shootdown, only cores
+        currently running ``pid``'s address space act (context switches flush
+        the TLBs, so other address spaces cannot be resident here).  The TLB
+        ``version`` bump performed by the invalidation also keeps the VPN
+        translation cache honest, so both engines observe the unmap
+        identically.
+        """
+        if pid != self.pid:
+            return
+        self.tlbs.invalidate(virtual_address)
+
     def set_nested_unit(self, nested_unit: Optional[NestedTranslationUnit]) -> None:
         """Enable two-dimensional translation through ``nested_unit``."""
         self.nested_unit = nested_unit

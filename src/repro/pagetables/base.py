@@ -20,7 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.addresses import PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE_4K, align_down
+from repro.common.addresses import (
+    FALLBACK_FRAME_BASE,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    align_down,
+)
 from repro.common.stats import Counter
 from repro.memhier.memory_system import MemoryAccessType
 from repro.common.kernelops import KernelRoutineTrace
@@ -81,9 +87,22 @@ class MemoryInterface:
 
 
 class _BumpFrameAllocator:
-    """Fallback allocator of page-table frames for standalone use in tests."""
+    """Fallback allocator of page-table frames for standalone use in tests.
 
-    def __init__(self, base: int = 1 << 40):
+    Frames are handed out from :data:`~repro.common.addresses
+    .FALLBACK_FRAME_BASE` upward, a region deliberately above any simulated
+    physical memory; ``physical_memory_bytes`` (when known, e.g. through the
+    page-table factory) is asserted against at construction so a fallback
+    frame can never alias a real physical range.
+    """
+
+    def __init__(self, base: int = FALLBACK_FRAME_BASE,
+                 physical_memory_bytes: Optional[int] = None):
+        if physical_memory_bytes is not None and base < physical_memory_bytes:
+            raise ValueError(
+                f"fallback frame base {base:#x} lies inside physical memory "
+                f"({physical_memory_bytes:#x} bytes): fallback page-table "
+                f"frames would alias real frames")
         self._next = base
 
     def __call__(self, trace: Optional[KernelRoutineTrace] = None) -> int:
@@ -109,6 +128,10 @@ class PageTableBase:
         self.counters = Counter()
         #: Functional mapping store: virtual page base -> TranslationMapping.
         self._mappings: Dict[int, TranslationMapping] = {}
+        #: Live mapping count per page size; lets walkers probe only page
+        #: sizes that still have at least one installed mapping (and stop
+        #: probing a size once its last mapping is removed).
+        self._size_counts: Dict[int, int] = {}
         #: Bumped on every insert/remove; the MMU's VPN translation cache
         #: watches this so any page-table mutation invalidates it.
         self.version = 0
@@ -123,7 +146,15 @@ class PageTableBase:
             raise ValueError(f"unsupported page size {page_size}")
         virtual_base = align_down(virtual_address, page_size)
         physical_base = align_down(physical_address, page_size)
+        previous = self._mappings.get(virtual_base)
+        if previous is not None:
+            remaining = self._size_counts.get(previous.page_size, 0) - 1
+            if remaining > 0:
+                self._size_counts[previous.page_size] = remaining
+            else:
+                self._size_counts.pop(previous.page_size, None)
         self._mappings[virtual_base] = TranslationMapping(virtual_base, physical_base, page_size)
+        self._size_counts[page_size] = self._size_counts.get(page_size, 0) + 1
         self.version += 1
         self.counters.add("insertions")
         self._insert_structure(virtual_base, physical_base, page_size, trace)
@@ -135,6 +166,11 @@ class PageTableBase:
         if mapping is None:
             return False
         del self._mappings[mapping.virtual_base]
+        remaining = self._size_counts.get(mapping.page_size, 0) - 1
+        if remaining > 0:
+            self._size_counts[mapping.page_size] = remaining
+        else:
+            self._size_counts.pop(mapping.page_size, None)
         self.version += 1
         self.counters.add("removals")
         self._remove_structure(mapping, trace)
@@ -166,6 +202,10 @@ class PageTableBase:
         kernel mutates the inner structure directly.
         """
         return self
+
+    def active_page_sizes(self) -> Tuple[int, ...]:
+        """Page sizes with at least one live mapping, largest first."""
+        return tuple(sorted(self._size_counts, reverse=True))
 
     def mapped_pages(self) -> int:
         """Number of installed mappings (of any size)."""

@@ -91,6 +91,10 @@ class ElasticCuckooPageTable(PageTableBase):
         #: region, which page-size tables can possibly hold translations, so
         #: the walker skips the others (Table 4: "Perfect Cuckoo Walk caches").
         self._cwc_regions: Dict[int, set] = {}
+        #: Live mappings per (2 MB region, page size); a *perfect* CWC must
+        #: also forget a size once the region's last mapping of that size is
+        #: removed, or post-unmap walks would keep probing empty tables.
+        self._cwc_counts: Dict[Tuple[int, int], int] = {}
 
     def _table_for(self, page_size: int) -> _CuckooTable:
         table = self._tables.get(page_size)
@@ -110,7 +114,10 @@ class ElasticCuckooPageTable(PageTableBase):
                           trace: Optional[KernelRoutineTrace]) -> None:
         table = self._table_for(page_size)
         key = self._key(virtual_base, page_size)
-        self._cwc_regions.setdefault(virtual_base >> 21, set()).add(page_size)
+        region = virtual_base >> 21
+        self._cwc_regions.setdefault(region, set()).add(page_size)
+        self._cwc_counts[(region, page_size)] = \
+            self._cwc_counts.get((region, page_size), 0) + 1
         op = trace.new_op("ech_insert", work_units=2) if trace is not None else None
 
         relocations = 0
@@ -169,6 +176,18 @@ class ElasticCuckooPageTable(PageTableBase):
                 del table.nests[way][index]
                 table.occupancy -= 1
                 break
+        region = mapping.virtual_base >> 21
+        count_key = (region, mapping.page_size)
+        remaining = self._cwc_counts.get(count_key, 0) - 1
+        if remaining > 0:
+            self._cwc_counts[count_key] = remaining
+        else:
+            self._cwc_counts.pop(count_key, None)
+            sizes = self._cwc_regions.get(region)
+            if sizes is not None:
+                sizes.discard(mapping.page_size)
+                if not sizes:
+                    del self._cwc_regions[region]
         if trace is not None:
             trace.new_op("ech_remove", work_units=2)
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.config import PageTableConfig
-from repro.pagetables.base import PageTableBase
+from repro.pagetables.base import PageTableBase, _BumpFrameAllocator
 from repro.pagetables.cuckoo import ElasticCuckooPageTable
 from repro.pagetables.direct_segments import DirectSegmentTable
 from repro.pagetables.hashchain import ChainedHashPageTable
@@ -15,6 +15,99 @@ from repro.pagetables.radix import RadixPageTable
 from repro.pagetables.rmm import RangeMemoryMapping
 from repro.pagetables.utopia import UtopiaTranslation
 from repro.pagetables.vbi import VirtualBlockInterface
+
+
+def _build_radix(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    return RadixPageTable(frame_allocator,
+                          pwc_entries=config.pwc_entries,
+                          pwc_associativity=config.pwc_associativity,
+                          pwc_latency=config.pwc_latency)
+
+
+def _build_ech(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    return ElasticCuckooPageTable(frame_allocator,
+                                  ways=config.cuckoo_ways,
+                                  cwc_latency=config.cwc_latency)
+
+
+def _build_hdc(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
+    return OpenAddressingHashPageTable(frame_allocator,
+                                       table_size_bytes=table_bytes,
+                                       ptes_per_entry=config.ptes_per_entry)
+
+
+def _build_ht(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
+    return ChainedHashPageTable(frame_allocator,
+                                table_size_bytes=table_bytes,
+                                ptes_per_entry=config.ptes_per_entry)
+
+
+def _build_utopia(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    restseg_bytes = config.restseg_size_bytes
+    if physical_memory_bytes is not None:
+        # Two RestSegs are instantiated (4 KB- and 2 MB-grained); keep
+        # their combined size within physical memory.  Experiments that
+        # sweep RestSeg coverage (Fig. 19/20) set the size explicitly.
+        restseg_bytes = min(restseg_bytes, physical_memory_bytes // 2)
+    return UtopiaTranslation(frame_allocator,
+                             restseg_size_bytes=restseg_bytes,
+                             restseg_associativity=config.restseg_associativity,
+                             restseg_base_address=restseg_base_address,
+                             tar_cache_latency=config.tar_cache_latency,
+                             sf_cache_latency=config.sf_cache_latency)
+
+
+def _build_rmm(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    return RangeMemoryMapping(frame_allocator,
+                              rlb_entries=config.rlb_entries,
+                              rlb_latency=config.rlb_latency,
+                              eager_paging_max_order=config.eager_paging_max_order)
+
+
+def _build_midgard(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    return MidgardTranslation(frame_allocator,
+                              l1_vlb_entries=config.l1_vlb_entries,
+                              l1_vlb_latency=config.l1_vlb_latency,
+                              l2_vlb_entries=config.l2_vlb_entries,
+                              l2_vlb_latency=config.l2_vlb_latency,
+                              backend_levels=config.backend_levels)
+
+
+def _build_direct_segment(config, frame_allocator, physical_memory_bytes,
+                          restseg_base_address):
+    return DirectSegmentTable(frame_allocator,
+                              segment_size_bytes=config.direct_segment_size_bytes)
+
+
+def _build_vbi(config, frame_allocator, physical_memory_bytes, restseg_base_address):
+    return VirtualBlockInterface(frame_allocator)
+
+
+#: The dispatch table is the single registry: the parity matrix, the zoo
+#: smoke tests and the per-backend perf bench all iterate
+#: :data:`REGISTERED_KINDS`, which is derived from it — so a design added
+#: here is automatically covered by all three.
+_BUILDERS: Dict[str, Callable[..., PageTableBase]] = {
+    "radix": _build_radix,
+    "ech": _build_ech,
+    "hdc": _build_hdc,
+    "ht": _build_ht,
+    "utopia": _build_utopia,
+    "rmm": _build_rmm,
+    "midgard": _build_midgard,
+    "direct_segment": _build_direct_segment,
+    "vbi": _build_vbi,
+}
+
+#: Every translation scheme the factory can build (the "page-table zoo").
+REGISTERED_KINDS = tuple(_BUILDERS)
+
+
+def registered_kinds() -> List[str]:
+    """Names of every registered page-table design."""
+    return list(REGISTERED_KINDS)
 
 
 def build_page_table(config: PageTableConfig,
@@ -28,57 +121,16 @@ def build_page_table(config: PageTableConfig,
     lets schemes that reserve bulk physical regions (hash tables, RestSegs)
     scale their structures down for small simulated memories.
     """
-    kind = config.kind
-    if kind == "radix":
-        return RadixPageTable(frame_allocator,
-                              pwc_entries=config.pwc_entries,
-                              pwc_associativity=config.pwc_associativity,
-                              pwc_latency=config.pwc_latency)
-    if kind == "ech":
-        return ElasticCuckooPageTable(frame_allocator,
-                                      ways=config.cuckoo_ways,
-                                      cwc_latency=config.cwc_latency)
-    if kind == "hdc":
-        table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
-        return OpenAddressingHashPageTable(frame_allocator,
-                                           table_size_bytes=table_bytes,
-                                           ptes_per_entry=config.ptes_per_entry)
-    if kind == "ht":
-        table_bytes = _scaled_table_bytes(config.hash_table_size_bytes, physical_memory_bytes)
-        return ChainedHashPageTable(frame_allocator,
-                                    table_size_bytes=table_bytes,
-                                    ptes_per_entry=config.ptes_per_entry)
-    if kind == "utopia":
-        restseg_bytes = config.restseg_size_bytes
-        if physical_memory_bytes is not None:
-            # Two RestSegs are instantiated (4 KB- and 2 MB-grained); keep
-            # their combined size within physical memory.  Experiments that
-            # sweep RestSeg coverage (Fig. 19/20) set the size explicitly.
-            restseg_bytes = min(restseg_bytes, physical_memory_bytes // 2)
-        return UtopiaTranslation(frame_allocator,
-                                 restseg_size_bytes=restseg_bytes,
-                                 restseg_associativity=config.restseg_associativity,
-                                 restseg_base_address=restseg_base_address,
-                                 tar_cache_latency=config.tar_cache_latency,
-                                 sf_cache_latency=config.sf_cache_latency)
-    if kind == "rmm":
-        return RangeMemoryMapping(frame_allocator,
-                                  rlb_entries=config.rlb_entries,
-                                  rlb_latency=config.rlb_latency,
-                                  eager_paging_max_order=config.eager_paging_max_order)
-    if kind == "midgard":
-        return MidgardTranslation(frame_allocator,
-                                  l1_vlb_entries=config.l1_vlb_entries,
-                                  l1_vlb_latency=config.l1_vlb_latency,
-                                  l2_vlb_entries=config.l2_vlb_entries,
-                                  l2_vlb_latency=config.l2_vlb_latency,
-                                  backend_levels=config.backend_levels)
-    if kind == "direct_segment":
-        return DirectSegmentTable(frame_allocator,
-                                  segment_size_bytes=config.direct_segment_size_bytes)
-    if kind == "vbi":
-        return VirtualBlockInterface(frame_allocator)
-    raise ValueError(f"unknown page table kind: {kind!r}")
+    if frame_allocator is None:
+        # Standalone use (no kernel slab allocator): hand out fallback frames
+        # from a region guaranteed not to alias simulated physical memory.
+        frame_allocator = _BumpFrameAllocator(
+            physical_memory_bytes=physical_memory_bytes)
+    builder = _BUILDERS.get(config.kind)
+    if builder is None:
+        raise ValueError(f"unknown page table kind: {config.kind!r}")
+    return builder(config, frame_allocator, physical_memory_bytes,
+                   restseg_base_address)
 
 
 def _scaled_table_bytes(configured_bytes: int, physical_memory_bytes: Optional[int]) -> int:

@@ -37,7 +37,6 @@ class ChainedHashPageTable(PageTableBase):
                                    else self.frame_allocator(None))
         #: bucket index -> ordered list of (virtual base, page size) in the chain.
         self._chains: Dict[int, List[Tuple[int, int]]] = {}
-        self._active_page_sizes: set = set()
         #: Overflow chain nodes live in a separate region past the table.
         self._overflow_base = self.table_base_address + self.num_buckets * BUCKET_SIZE
 
@@ -61,7 +60,6 @@ class ChainedHashPageTable(PageTableBase):
     def _insert_structure(self, virtual_base: int, physical_base: int, page_size: int,
                           trace: Optional[KernelRoutineTrace]) -> None:
         key = self._key(virtual_base, page_size)
-        self._active_page_sizes.add(page_size)
         home = self._home_index(key)
         chain = self._chains.setdefault(home, [])
         op = trace.new_op("ht_insert", work_units=1 + len(chain)) if trace is not None else None
@@ -90,8 +88,11 @@ class ChainedHashPageTable(PageTableBase):
         self.counters.add("walks")
         latency = 0
         accesses = 0
-        active_sizes = self._active_page_sizes or set(self.SUPPORTED_PAGE_SIZES)
-        for page_size in sorted(active_sizes, reverse=True):
+        # Only page sizes with live mappings are probed (the base class
+        # shrinks the set on removal, so unmapping a size stops its probes).
+        active_sizes = (self.active_page_sizes()
+                        or tuple(sorted(self.SUPPORTED_PAGE_SIZES, reverse=True)))
+        for page_size in active_sizes:
             virtual_base = virtual_address - (virtual_address % page_size)
             mapping = self._mappings.get(virtual_base)
             key = self._key(virtual_base, page_size)

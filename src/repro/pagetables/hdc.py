@@ -42,9 +42,6 @@ class OpenAddressingHashPageTable(PageTableBase):
         self.max_probe_length = max_probe_length
         #: bucket index -> key (virtual base, page size) stored there.
         self._buckets: Dict[int, Tuple[int, int]] = {}
-        #: Page sizes that have at least one installed mapping; the walker
-        #: only probes active sizes so typical walks stay at ~1 access.
-        self._active_page_sizes: set = set()
 
     # ------------------------------------------------------------------ #
     # Structure updates
@@ -68,7 +65,6 @@ class OpenAddressingHashPageTable(PageTableBase):
     def _insert_structure(self, virtual_base: int, physical_base: int, page_size: int,
                           trace: Optional[KernelRoutineTrace]) -> None:
         key = self._key(virtual_base, page_size)
-        self._active_page_sizes.add(page_size)
         op = trace.new_op("hdc_insert", work_units=1) if trace is not None else None
         for probes, index in enumerate(self._probe_sequence(key), start=1):
             occupant = self._buckets.get(index)
@@ -104,8 +100,11 @@ class OpenAddressingHashPageTable(PageTableBase):
         self.counters.add("walks")
         latency = 0
         accesses = 0
-        active_sizes = self._active_page_sizes or set(self.SUPPORTED_PAGE_SIZES)
-        for page_size in sorted(active_sizes, reverse=True):
+        # Probe only page sizes with live mappings (the base class shrinks
+        # the set on removal, so unmapping a size stops its probes).
+        active_sizes = (self.active_page_sizes()
+                        or tuple(sorted(self.SUPPORTED_PAGE_SIZES, reverse=True)))
+        for page_size in active_sizes:
             virtual_base = virtual_address - (virtual_address % page_size)
             mapping = self._mappings.get(virtual_base)
             key = self._key(virtual_base, page_size)

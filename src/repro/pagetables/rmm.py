@@ -89,6 +89,11 @@ class RangeLookasideBuffer:
         self._ranges[key] = entry
         self._lru[key] = self._clock
 
+    def invalidate(self, virtual_start: int) -> None:
+        """Drop the cached range starting at ``virtual_start`` (range shootdown)."""
+        if self._ranges.pop(virtual_start, None) is not None:
+            self._lru.pop(virtual_start, None)
+
     def hit_rate(self) -> float:
         """RLB hit fraction."""
         total = self.hits + self.misses
@@ -171,8 +176,14 @@ class RangeMemoryMapping(PageTableBase):
     def _remove_structure(self, mapping: TranslationMapping,
                           trace: Optional[KernelRoutineTrace]) -> None:
         self.radix.remove(mapping.virtual_base, trace)
-        self._ranges = [r for r in self._ranges
-                        if not r.contains(mapping.virtual_base)]
+        dead = [r for r in self._ranges if r.contains(mapping.virtual_base)]
+        if dead:
+            self._ranges = [r for r in self._ranges
+                            if not r.contains(mapping.virtual_base)]
+            # A dropped range must leave the RLB too, or the hardware keeps
+            # translating through it after the OS tore it down.
+            for entry in dead:
+                self.rlb.invalidate(entry.virtual_start)
 
     def lookup(self, virtual_address: int) -> Optional[Tuple[int, int]]:
         """Functional lookup: consult both the base mappings and the ranges."""

@@ -233,12 +233,20 @@ class UtopiaTranslation(PageTableBase):
     def _remove_structure(self, mapping: TranslationMapping,
                           trace: Optional[KernelRoutineTrace]) -> None:
         if self._frame_in_restseg(mapping.physical_base):
-            key = self._frame_to_key.pop(mapping.physical_base, None)
-            if key is not None:
+            key = self._frame_to_key.get(mapping.physical_base)
+            # The eviction path reassigns a frame to its new occupant
+            # *before* the kernel removes the victim's mapping, so only
+            # clean the reverse index when it still describes the mapping
+            # being removed — otherwise this remove would tear down the new
+            # occupant's residency record.
+            if key is not None and key[1] == mapping.virtual_base:
+                del self._frame_to_key[mapping.physical_base]
                 location = self._restseg_residency.pop(key, None)
                 if location is not None:
                     seg_index, set_index, way = location
-                    self._restsegs[seg_index].sets.get(set_index, {}).pop(way, None)
+                    ways = self._restsegs[seg_index].sets.get(set_index, {})
+                    if ways.get(way) == key:
+                        del ways[way]
         else:
             self.flexseg.remove(mapping.virtual_base, trace)
         if trace is not None:

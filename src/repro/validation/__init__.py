@@ -11,4 +11,9 @@ page-fault-latency cosine similarity).
 
 from repro.validation.reference import ValidationResult, ValidationRun, run_validation
 
+# The differential parity matrix lives in repro.validation.parity and is
+# imported lazily (``python -m repro.validation.parity`` runs the module as
+# a script; importing it here would shadow that entry point with a runpy
+# re-import warning).
+
 __all__ = ["ValidationResult", "ValidationRun", "run_validation"]

@@ -1,0 +1,340 @@
+"""Differential parity matrix: batch vs legacy engine across the whole zoo.
+
+The fast/batch execution engine (PRs 1-3) is only trustworthy if it is
+bit-identical to the legacy per-object engine *everywhere*, not just on the
+radix-centric scenarios the KIPS harness watches.  This module is the
+McKeeman-style differential-testing subsystem that enforces that: it
+enumerates a configuration lattice —
+
+* every registered page-table design
+  (:func:`repro.pagetables.factory.registered_kinds`),
+* a workload family per behaviour class (translation-bound GUPS,
+  allocation/fault-bound LLM inference — the family that exercises THP,
+  khugepaged and reclaim),
+* core count (1 and 2 — the multi-core orchestrator has its own
+  interleaving and kernel-stream routing),
+* OS feature toggles (THP on/off, swap pressure on/off),
+
+— runs each point once per engine under identical seeds, and diffs the full
+statistics report field by field.  A mismatch produces a structured
+:class:`DivergenceRecord` (the configuration, the first diverging counter in
+sorted order and both values) rather than a bare assert, so a failure names
+the exact configuration and statistic to chase.
+
+Three consumers:
+
+* ``tests/test_parity_matrix.py`` — an always-on tier-1 sampler over a
+  seeded ~40-point subset of the lattice (kept well under 30 s);
+* ``python -m repro.validation.parity --full`` — the full matrix, fanned
+  across host processes with the sweep runner's
+  :func:`~repro.experiments.sweep.fan_out` workers;
+* ``benchmarks/perf/parity_bench.py`` — records per-backend batch-vs-legacy
+  speedups into ``BENCH_perf.json`` so the perf trajectory covers every
+  design, not just radix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+import zlib
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.addresses import MB
+from repro.common.config import PageTableConfig, SystemConfig, scaled_system_config
+from repro.common.stats import LatencyDistribution
+from repro.core.report import SimulationReport
+from repro.pagetables.factory import registered_kinds
+
+#: Keys whose values legitimately differ between engines (host-side timing
+#: and fast-path diagnostics) and are therefore excluded from the diff.
+HOST_ONLY_KEYS = ("host_seconds", "fast_path", "kips")
+
+#: Workload families of the lattice: family name -> (registry name, kwargs).
+#: Sizes are deliberately small — a parity point must answer in a few
+#: hundred milliseconds so the sampled matrix stays inside the tier-1 walk.
+#: ``gups`` is the translation-bound class (TLB/walk-heavy over a prefaulted
+#: footprint); ``llm`` is the allocation-bound class whose faults drive THP,
+#: khugepaged collapse and (under pressure) reclaim — the paths where the
+#: stale-translation bugs this harness exists to catch actually live.
+WORKLOAD_FAMILIES: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "gups": ("RND", {"footprint_bytes": 2 * MB, "memory_operations": 500,
+                     "prefault": True, "seed": 3}),
+    "llm": ("Bagel", {"scale": 0.04, "seed": 9}),
+}
+
+#: Multi-process scenario (and its kwargs) used for the cores=2 axis.
+MULTICORE_SCENARIO = ("contention_pair",
+                      {"footprint_bytes": 2 * MB, "memory_operations": 500,
+                       "seed": 3})
+
+
+@dataclass(frozen=True)
+class ParityPoint:
+    """One lattice configuration, compared across both engines."""
+
+    page_table_kind: str
+    family: str
+    cores: int = 1
+    thp: bool = True
+    swap_pressure: bool = False
+
+    @property
+    def name(self) -> str:
+        return (f"{self.page_table_kind}/{self.family}/c{self.cores}"
+                f"/thp={'on' if self.thp else 'off'}"
+                f"/swap={'on' if self.swap_pressure else 'off'}")
+
+
+@dataclass
+class DivergenceRecord:
+    """A batch-vs-legacy mismatch: where it happened and what diverged."""
+
+    point: str
+    #: First diverging statistic in sorted field order.
+    field: str
+    legacy_value: object
+    batch_value: object
+    #: Total number of diverging fields (the first is usually the cause,
+    #: the rest downstream fallout).
+    diverging_fields: int
+
+    def __str__(self) -> str:
+        return (f"{self.point}: {self.field} diverged "
+                f"(legacy={self.legacy_value!r}, batch={self.batch_value!r}; "
+                f"{self.diverging_fields} fields total)")
+
+
+# --------------------------------------------------------------------- #
+# Lattice enumeration
+# --------------------------------------------------------------------- #
+def full_lattice() -> List[ParityPoint]:
+    """Every lattice point: kind x family x cores x THP x swap pressure.
+
+    The two-core axis runs the multi-process contention scenario (one
+    runnable process per core); swap pressure is exercised on the
+    single-core axis, where reclaim ordering is deterministic per point.
+    """
+    points: List[ParityPoint] = []
+    for kind in registered_kinds():
+        for family in WORKLOAD_FAMILIES:
+            for thp in (True, False):
+                for swap_pressure in (False, True):
+                    points.append(ParityPoint(kind, family, cores=1, thp=thp,
+                                              swap_pressure=swap_pressure))
+        for thp in (True, False):
+            points.append(ParityPoint(kind, "multicore", cores=2, thp=thp))
+    return points
+
+
+def sample_lattice(size: int = 40, seed: int = 2025) -> List[ParityPoint]:
+    """A deterministic ``size``-point subset covering every page-table kind.
+
+    The sample is seeded (never Python's salted ``hash``), shuffled, and
+    then selected so that each registered design appears at least once
+    before the remainder fills up in shuffled order — the tier-1 sampler
+    must never silently drop a backend from coverage, so ``size`` is raised
+    to the number of registered designs when asked for less.
+    """
+    points = full_lattice()
+    rng = random.Random(seed)
+    rng.shuffle(points)
+    selected: List[ParityPoint] = []
+    covered_kinds = set()
+    for point in points:
+        if point.page_table_kind not in covered_kinds:
+            covered_kinds.add(point.page_table_kind)
+            selected.append(point)
+    size = max(size, len(selected))
+    for point in points:
+        if len(selected) >= size:
+            break
+        if point not in selected:
+            selected.append(point)
+    return selected[:size]
+
+
+# --------------------------------------------------------------------- #
+# Running one point
+# --------------------------------------------------------------------- #
+def point_seed(point: ParityPoint) -> int:
+    """Deterministic per-point seed, identical for both engines."""
+    return zlib.crc32(point.name.encode("utf-8")) & 0x7FFFFFFF
+
+
+def build_config(point: ParityPoint, engine: str) -> SystemConfig:
+    """The (small) system configuration one parity point simulates.
+
+    Swap pressure is created the way the kernel actually meets it: a small
+    physical memory with a low reclaim threshold, so kswapd-style swap-outs
+    fire during the run instead of requiring a footprint too large for a
+    sub-second simulation.
+    """
+    config = scaled_system_config(
+        name=f"parity-{point.name}",
+        physical_memory_bytes=96 * MB if point.swap_pressure else 192 * MB,
+        thp_policy="linux" if point.thp else "never",
+        fragmentation_target=1.0)
+    config = config.with_page_table(PageTableConfig(kind=point.page_table_kind))
+    if point.swap_pressure:
+        config = config.with_mimicos(replace(config.mimicos,
+                                             swap_threshold=0.30,
+                                             swap_size_bytes=32 * MB))
+    return config.with_simulation(replace(config.simulation, engine=engine))
+
+
+def _run_engine(point: ParityPoint, engine: str) -> SimulationReport:
+    # Imports live inside the worker entry point (the pool pattern the
+    # sweep runner established) so workers are self-reliant.
+    from repro.core.multicore import MultiCoreVirtuoso
+    from repro.core.virtuoso import Virtuoso
+    from repro.workloads.multiproc import build_multiprocess_scenario
+    from repro.workloads.registry import build_workload
+
+    config = build_config(point, engine)
+    seed = point_seed(point)
+    if point.cores > 1:
+        scenario, kwargs = MULTICORE_SCENARIO
+        system = MultiCoreVirtuoso(config, num_cores=point.cores, seed=seed)
+        return system.run(build_multiprocess_scenario(scenario, **kwargs)).merged
+    workload_name, kwargs = WORKLOAD_FAMILIES[point.family]
+    system = Virtuoso(config, seed=seed)
+    return system.run(build_workload(workload_name, **kwargs))
+
+
+def flatten_stats(report: SimulationReport) -> Dict[str, object]:
+    """Every simulated statistic of a report as a flat ``path -> value`` map.
+
+    Host-side values (wall-clock timings, VPN-cache diagnostics) are
+    excluded: they differ between engines by design.
+    """
+    flat: Dict[str, object] = {}
+
+    def visit(node: object, prefix: str) -> None:
+        if isinstance(node, LatencyDistribution):
+            # Compare the distribution sample-exactly, as JSON-able scalars.
+            visit({"count": node.count, "total": node.total,
+                   "samples": list(node.samples)}, prefix)
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                if key in HOST_ONLY_KEYS:
+                    continue
+                visit(value, f"{prefix}{key}.")
+        elif isinstance(node, (list, tuple)):
+            for index, value in enumerate(node):
+                visit(value, f"{prefix}{index}.")
+        else:
+            flat[prefix[:-1]] = node
+
+    top = {field: value for field, value in vars(report).items()
+           if field not in ("details", "workload", "config_name") + tuple(HOST_ONLY_KEYS)}
+    visit(top, "report.")
+    visit(report.details, "details.")
+    return flat
+
+
+def diff_stats(legacy: Dict[str, object],
+               batch: Dict[str, object]) -> List[Tuple[str, object, object]]:
+    """Fields whose values differ, in sorted field order."""
+    return [(field, legacy.get(field), batch.get(field))
+            for field in sorted(set(legacy) | set(batch))
+            if legacy.get(field) != batch.get(field)]
+
+
+def run_parity_point(point: ParityPoint) -> Dict[str, object]:
+    """Run one point on both engines and diff; returns a picklable digest."""
+    start = time.perf_counter()
+    legacy = flatten_stats(_run_engine(point, "legacy"))
+    batch = flatten_stats(_run_engine(point, "batch"))
+    diffs = diff_stats(legacy, batch)
+    digest: Dict[str, object] = {
+        "point": point.name,
+        "config": asdict(point),
+        "identical": not diffs,
+        "fields_compared": len(set(legacy) | set(batch)),
+        "host_seconds": round(time.perf_counter() - start, 4),
+        "divergence": None,
+    }
+    if diffs:
+        field, legacy_value, batch_value = diffs[0]
+        digest["divergence"] = asdict(DivergenceRecord(
+            point=point.name, field=field, legacy_value=legacy_value,
+            batch_value=batch_value, diverging_fields=len(diffs)))
+    return digest
+
+
+def divergence_of(digest: Dict[str, object]) -> Optional[DivergenceRecord]:
+    """Rehydrate the digest's divergence record (None when identical)."""
+    raw = digest.get("divergence")
+    if raw is None:
+        return None
+    return DivergenceRecord(**raw)
+
+
+# --------------------------------------------------------------------- #
+# Matrix runner
+# --------------------------------------------------------------------- #
+def run_matrix(points: Sequence[ParityPoint],
+               workers: Optional[int] = None) -> Dict[str, object]:
+    """Run every point (fanning across host processes) and summarise.
+
+    Reuses the sweep runner's :func:`~repro.experiments.sweep.fan_out`
+    workers: points are picklable, each worker builds both systems itself,
+    and ``pool.map`` preserves order, so the summary is byte-identical for
+    any worker count.
+    """
+    from repro.experiments.sweep import fan_out
+
+    if not points:
+        raise ValueError("need at least one parity point")
+    start = time.perf_counter()
+    digests = fan_out(run_parity_point, list(points), workers=workers)
+    wall_seconds = time.perf_counter() - start
+    divergences = [d["divergence"] for d in digests if d["divergence"] is not None]
+    return {
+        "schema": "parity_matrix/v1",
+        "points": len(digests),
+        "identical": sum(1 for d in digests if d["identical"]),
+        "divergences": divergences,
+        "wall_seconds": round(wall_seconds, 4),
+        "results": digests,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation.parity",
+        description="Differential batch-vs-legacy parity across the page-table zoo")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full lattice (default: the tier-1 sample)")
+    parser.add_argument("--sample", type=int, default=40, metavar="N",
+                        help="sample size when not running --full (default 40; "
+                             "raised to the registered-design count so every "
+                             "backend stays covered)")
+    parser.add_argument("--seed", type=int, default=2025,
+                        help="sample selection seed (default 2025)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="host worker processes (default: all cores)")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="write the full summary as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    points = full_lattice() if args.full else sample_lattice(args.sample, args.seed)
+    summary = run_matrix(points, workers=args.workers)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    print(f"parity matrix: {summary['identical']}/{summary['points']} points "
+          f"identical in {summary['wall_seconds']:.1f}s "
+          f"({'full lattice' if args.full else f'sample of {len(points)}'})")
+    for raw in summary["divergences"]:
+        print(f"  DIVERGENCE {DivergenceRecord(**raw)}")
+    return 1 if summary["divergences"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

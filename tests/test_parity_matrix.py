@@ -1,0 +1,227 @@
+"""Tier-1 differential parity sampler plus the page-table-zoo smoke tests.
+
+Four families:
+
+* sampled parity matrix — a seeded ~40-point subset of the full lattice
+  (every page-table design x workload family x cores x THP/swap toggles)
+  must be bit-identical between the batch and legacy engines;
+* harness sensitivity — with the kernel's TLB-shootdown wiring disabled the
+  harness must *detect* a divergence (a differential harness that cannot
+  catch the bug it was built for is worthless);
+* stale-translation regression — swapping a page out must make the next
+  access fault identically on both engines (the kernel-initiated shootdown
+  keeps the TLBs and the VPN translation cache honest);
+* zoo smoke — every factory-registered design survives a
+  fault-allocate-translate-remove cycle, and the fallback page-table-frame
+  allocator can never alias simulated physical memory.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.addresses import FALLBACK_FRAME_BASE, GB, MB, PAGE_SIZE_4K, align_down, page_number
+from repro.common.config import PageTableConfig
+from repro.core.virtuoso import Virtuoso
+from repro.mimicos.kernel import MimicOS
+from repro.pagetables.base import _BumpFrameAllocator
+from repro.pagetables.factory import build_page_table, registered_kinds
+from repro.validation.parity import (
+    DivergenceRecord,
+    ParityPoint,
+    divergence_of,
+    full_lattice,
+    run_parity_point,
+    sample_lattice,
+)
+from tests.conftest import FlatMemory, tiny_mimicos_config, tiny_system_config
+
+#: Size of the always-on sampled subset (the full lattice is the CLI's job).
+SAMPLE_SIZE = 40
+
+
+class TestLattice:
+    def test_full_lattice_covers_every_design_and_toggle(self):
+        points = full_lattice()
+        kinds = {point.page_table_kind for point in points}
+        assert kinds == set(registered_kinds())
+        assert {point.cores for point in points} == {1, 2}
+        assert {point.thp for point in points} == {True, False}
+        assert {point.swap_pressure for point in points} == {True, False}
+
+    def test_sample_is_deterministic_and_covers_every_design(self):
+        first = sample_lattice(SAMPLE_SIZE)
+        second = sample_lattice(SAMPLE_SIZE)
+        assert first == second
+        assert len(first) == SAMPLE_SIZE
+        assert {p.page_table_kind for p in first} == set(registered_kinds())
+        # A different seed picks a different subset (it really is sampling).
+        assert sample_lattice(SAMPLE_SIZE, seed=1) != first
+
+
+class TestSampledParityMatrix:
+    """The always-on gate: no engine divergence anywhere in the sample."""
+
+    @pytest.mark.parametrize("point", sample_lattice(SAMPLE_SIZE),
+                             ids=lambda point: point.name)
+    def test_point_is_engine_invariant(self, point):
+        digest = run_parity_point(point)
+        record = divergence_of(digest)
+        assert record is None, f"engine divergence: {record}"
+        assert digest["fields_compared"] > 50  # a real report, not a stub
+
+
+class TestHarnessSensitivity:
+    def test_detects_divergence_when_shootdown_disabled(self, monkeypatch):
+        """Re-create the pre-fix tree (no kernel TLB shootdowns) and demand
+        the harness flags the engine divergence it used to hide."""
+        monkeypatch.setattr(MimicOS, "register_tlb_listener",
+                            lambda self, listener: None)
+        digest = run_parity_point(ParityPoint("radix", "llm", thp=True))
+        record = divergence_of(digest)
+        assert record is not None, (
+            "parity harness failed to detect the stale-TLB divergence")
+        assert record.diverging_fields > 0
+        assert record.field
+        # The record is structured: configuration, counter and both values.
+        assert record.point == "radix/llm/c1/thp=on/swap=off"
+        assert record.legacy_value != record.batch_value
+        assert "diverged" in str(record)
+
+
+def _swap_out_page(system: Virtuoso, pid: int, virtual_base: int) -> None:
+    """Do exactly what kswapd reclaim does to one resident 4 KB page:
+    swap it out, unmap it and shoot the translation down."""
+    kernel = system.kernel
+    kernel.swap.swap_out(pid, page_number(virtual_base))
+    kernel.processes[pid].page_table.remove(virtual_base)
+    kernel.tlb_shootdown(pid, virtual_base)
+
+
+class TestSwapOutStaleTranslationRegression:
+    """A swapped-out page must fault on its next access — on both engines."""
+
+    def run_engine(self, engine: str):
+        config = tiny_system_config()
+        config = config.with_simulation(replace(config.simulation, engine=engine))
+        system = Virtuoso(config, seed=7)
+        process = system.create_process("swap-victim")
+        vma = system.kernel.mmap(process, 1 * MB)
+        system.activate_process(process)
+        address = vma.start + 0x1000
+
+        access = (system.mmu.access_data_fast if engine == "batch"
+                  else system.mmu.access_data)
+        # Fault the page in, then touch it twice more: the second touch is an
+        # L1 TLB hit, which on the batch engine records a VPN-cache entry and
+        # the third is served by the fast path.
+        assert access(address).translation.page_fault
+        access(address)
+        access(address)
+        if engine == "batch":
+            assert system.mmu.fast_hits > 0
+
+        _swap_out_page(system, process.pid, align_down(address, PAGE_SIZE_4K))
+
+        outcome = access(address)
+        return system, outcome
+
+    def test_next_access_faults_identically_on_both_engines(self):
+        legacy_system, legacy_outcome = self.run_engine("legacy")
+        batch_system, batch_outcome = self.run_engine("batch")
+
+        # The unmapped page faults again (major: it comes back from swap).
+        assert legacy_outcome.translation.page_fault
+        assert batch_outcome.translation.page_fault
+        assert legacy_system.kernel.swap.counters.get("swap_ins") == 1
+        assert batch_system.kernel.swap.counters.get("swap_ins") == 1
+
+        # And every simulated statistic of the sequence is engine-invariant.
+        assert legacy_system.mmu.counters.as_dict() == \
+            batch_system.mmu.counters.as_dict()
+        assert legacy_system.tlbs.stats() == batch_system.tlbs.stats()
+        assert legacy_system.coupling.counters.as_dict() == \
+            batch_system.coupling.counters.as_dict()
+
+    def test_shootdown_reaches_only_the_matching_context(self):
+        """The per-core IPI filter: a shootdown for another pid must leave
+        the current context's TLB entries alone."""
+        config = tiny_system_config()
+        system = Virtuoso(config, seed=7)
+        process = system.create_process("current")
+        vma = system.kernel.mmap(process, 1 * MB)
+        system.activate_process(process)
+        address = vma.start + 0x1000
+        system.mmu.access_data(address)   # fault in + fill TLBs
+        system.mmu.access_data(address)   # L1 hit
+        hits_before = system.tlbs.l1d_4k.counters.get("hits")
+
+        system.kernel.tlb_shootdown(process.pid + 999, address)
+        system.mmu.access_data(address)
+        assert system.tlbs.l1d_4k.counters.get("hits") == hits_before + 1
+
+        system.kernel.tlb_shootdown(process.pid, address)
+        outcome = system.mmu.access_data(address)
+        assert not outcome.translation.tlb_hit or outcome.translation.walked
+
+
+class TestPageTableZooSmoke:
+    """Every registered design: fault -> allocate -> translate -> remove."""
+
+    @pytest.mark.parametrize("kind", registered_kinds())
+    def test_fault_allocate_translate_remove_cycle(self, kind):
+        kernel = MimicOS(tiny_mimicos_config(), PageTableConfig(kind=kind))
+        process = kernel.create_process(f"zoo-{kind}")
+        vma = kernel.mmap(process, 4 * MB)
+        address = vma.start + 0x3000
+
+        result = kernel.handle_page_fault(process.pid, address)
+        assert not result.segfault
+        assert result.page_size >= PAGE_SIZE_4K
+
+        table = process.page_table
+        mapping = table.lookup(address)
+        assert mapping is not None
+        physical_base, page_size = mapping
+        functional = table.translate_functional(address)
+        assert functional is not None
+        assert functional == physical_base + (address - align_down(address, page_size))
+        assert page_size in table.active_page_sizes()
+
+        if not table.replaces_tlbs:
+            walk = table.walk(address, FlatMemory())
+            assert walk.found
+            assert walk.physical_base == physical_base
+            assert walk.page_size == page_size
+
+        assert table.remove(address)
+        assert table.lookup(address) is None
+        assert table.translate_functional(address) is None
+        if not table.replaces_tlbs:
+            assert not table.walk(address, FlatMemory()).found
+
+    @pytest.mark.parametrize("kind", registered_kinds())
+    def test_standalone_factory_instantiation(self, kind):
+        """No kernel at all: the factory's fallback frame allocator serves
+        page-table frames from outside simulated physical memory."""
+        table = build_page_table(PageTableConfig(kind=kind),
+                                 physical_memory_bytes=1 * GB)
+        table.insert(0x4000, 0x7000, PAGE_SIZE_4K)
+        assert table.lookup(0x4000) == (align_down(0x7000, PAGE_SIZE_4K), PAGE_SIZE_4K)
+        assert table.remove(0x4000)
+        assert table.active_page_sizes() == ()
+
+
+class TestBumpFrameAllocator:
+    def test_fallback_frames_sit_above_physical_memory(self):
+        allocator = _BumpFrameAllocator(physical_memory_bytes=256 * GB)
+        frame = allocator()
+        assert frame >= FALLBACK_FRAME_BASE
+        assert frame >= 256 * GB
+        assert allocator() == frame + PAGE_SIZE_4K
+
+    def test_aliasing_base_is_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="alias"):
+            _BumpFrameAllocator(base=1 << 30, physical_memory_bytes=4 * GB)
+        with pytest.raises(ValueError, match="alias"):
+            _BumpFrameAllocator(physical_memory_bytes=(FALLBACK_FRAME_BASE) * 2)
