@@ -32,6 +32,7 @@ from benchmarks.perf.kips_harness import (
     MULTICORE_TARGET_SPEEDUP,
     REGRESSION_TOLERANCE,
     SEED_ENGINE_KIPS,
+    VIRTUALIZED_TARGET_SPEEDUP,
     run_scenario,
 )
 from repro.workloads.base import numpy_available, vectorization_enabled
@@ -143,6 +144,46 @@ def test_multicore_kips_no_regression():
         f"floor {floor:.1f}")
     assert measured["kips"] > measured_before["kips"], (
         "batch engine lost to legacy on the multi-core scenario")
+
+
+def test_virtualized_record_meets_target():
+    """The recorded virtualized-guest speedup must meet the target, with the
+    engines attested bit-identical on the full report."""
+    recorded = recorded_bench()
+    row = recorded["scenarios"].get("virtualized_guest")
+    assert row is not None, ("BENCH_perf.json predates the virtualized_guest "
+                             "scenario; regenerate it with the KIPS harness")
+    assert row.get("virtualized") is True
+    assert row["speedup"] >= VIRTUALIZED_TARGET_SPEEDUP, (
+        f"recorded virtualized speedup {row['speedup']}x is below the "
+        f"{VIRTUALIZED_TARGET_SPEEDUP}x target")
+    assert row.get("parity_identical") is True, (
+        "virtualized_guest was recorded with diverging engines — run "
+        "python -m repro.validation.parity --virtualized and fix it")
+    # Both kernels' streams must actually be injected: a virtualised run
+    # without hypervisor work would not be testing the two-level path.
+    assert row["after"]["kernel_instructions"] > 0
+
+
+def test_virtualized_kips_no_regression():
+    """Measured virtualized-guest KIPS must stay within tolerance of the
+    record (host-normalised through the legacy engine, like the other
+    gates)."""
+    recorded = recorded_bench()
+    row = recorded["scenarios"].get("virtualized_guest")
+    if row is None:
+        pytest.skip("BENCH_perf.json predates the virtualized_guest scenario")
+
+    measured_before = run_scenario("virtualized_guest", "legacy", repeats=2)
+    host_scale = min(1.0, measured_before["kips"] / row["before_kips"])
+    measured = run_scenario("virtualized_guest", "batch", repeats=2)
+    floor = row["after_kips"] * host_scale * (1.0 - REGRESSION_TOLERANCE)
+    assert measured["kips"] >= floor, (
+        f"virtualized KIPS regressed: measured {measured['kips']:.1f}, "
+        f"recorded {row['after_kips']:.1f} (host scale {host_scale:.2f}), "
+        f"floor {floor:.1f}")
+    assert measured["kips"] > measured_before["kips"], (
+        "batch engine lost to legacy on the virtualized scenario")
 
 
 def test_seed_baselines_are_null_not_zero():

@@ -1,76 +1,69 @@
 #!/usr/bin/env python3
 """Virtualised execution example: a guest MimicOS on a hypervisor MimicOS.
 
-Virtuoso models virtual machines by spawning two MimicOS instances (§6.1 of
-the paper): the guest OS handles the application's page faults against
-guest-physical memory, and the hypervisor backs guest RAM lazily, taking its
-own page faults.  Address translation becomes two-dimensional (guest page
-table x nested page table), modelled by the nested translation unit.
+Virtuoso models virtual machines (§6.1 of the paper) as a first-class engine
+mode: ``SystemConfig.virtualization`` spawns two MimicOS instances — the
+guest OS handles the application's page faults against guest-physical
+memory, the hypervisor backs guest RAM lazily with its own page faults —
+and the MMU translates two-dimensionally (guest page table x nested page
+table) with a nested TLB in front.  Both kernels' handler streams are
+injected into the faulting core, so a nested fault costs two kernel streams
+plus both levels' disk latency.
 
 Run with::
 
     python examples/virtualized_guest.py
 """
 
-import time
-
-from repro.common.addresses import MB, PAGE_SIZE_2M
-from repro.common.config import MimicOSConfig, PageTableConfig, SimulationConfig
-from repro.mimicos import MimicOS, VirtualMachine
-from repro.mmu.nested import NestedTranslationUnit
+from repro.common.addresses import MB
+from repro.common.config import VirtualizationConfig, scaled_system_config
+from repro.core.virtuoso import Virtuoso
 from repro.workloads.base import vectorization_enabled
-
-
-class _FlatMemory:
-    """Constant-latency memory stand-in for the nested-walk illustration."""
-
-    def access_address(self, address, is_write=False, access_type=None, pc=0):
-        return 50
+from repro.workloads.multiproc import GuestMixWorkload
 
 
 def main() -> None:
-    host = MimicOS(MimicOSConfig(physical_memory_bytes=1 << 30, fragmentation_target=1.0),
-                   PageTableConfig(kind="radix"))
-    vm = VirtualMachine(host, guest_memory_bytes=256 * MB, name="vm0")
-    process = vm.create_guest_process("guest-app")
-    vma = vm.guest_mmap(process, 32 * MB)
+    config = scaled_system_config(name="virtualized-demo",
+                                  physical_memory_bytes=1 << 30,
+                                  fragmentation_target=1.0)
+    config = config.with_virtualization(VirtualizationConfig(
+        enabled=True, guest_memory_bytes=256 * MB, nested_tlb_entries=512))
 
-    guest_faults = 0
-    hypervisor_faults = 0
-    guest_work = 0
-    host_work = 0
-    start_wall = time.perf_counter()
-    for offset in range(0, 16 * MB, PAGE_SIZE_2M):
-        result = vm.handle_guest_page_fault(process.pid, vma.start + offset)
-        guest_faults += 1
-        guest_work += result.guest.trace.total_work_units
-        if result.host is not None:
-            hypervisor_faults += 1
-            host_work += result.host.trace.total_work_units
-    host_seconds = time.perf_counter() - start_wall
+    system = Virtuoso(config, seed=7)
+    workload = GuestMixWorkload(footprint_bytes=16 * MB, hot_operations=8000,
+                                seed=1)
+    report = system.run(workload)
 
-    print(f"guest page faults handled:        {guest_faults}")
-    print(f"hypervisor backing faults taken:  {hypervisor_faults}")
-    print(f"guest kernel work units:          {guest_work}")
-    print(f"hypervisor kernel work units:     {host_work}")
+    vm = system.vm.stats()
+    nested = system.mmu.nested_unit.stats()
+    coupling = system.coupling.counters.as_dict()
+    print(f"guest page faults handled:        {vm.get('guest_page_faults', 0)}")
+    print(f"hypervisor backing faults taken:  {vm.get('hypervisor_backing_faults', 0)}")
+    print(f"EPT violations (backing only):    {vm.get('ept_violations', 0)}")
+    print(f"kernel streams on faulting core:  {coupling.get('page_faults', 0)} guest + "
+          f"{coupling.get('hypervisor_faults', 0)} hypervisor")
+    print(f"2-D walks performed:              {nested.get('nested_walks', 0)} "
+          f"({nested.get('nested_tlb_hits', 0)} nested-TLB hits)")
 
-    # This example drives MimicOS functionally (no core model in the loop),
-    # so host throughput is reported in kernel work units — the quantity the
-    # instrumentation layer would expand into instructions under a coupling.
-    total_work = guest_work + host_work
-    kwups = total_work / 1000.0 / host_seconds if host_seconds else 0.0
-    generation = "numpy-vectorised" if vectorization_enabled() else "pure-python"
-    engine = SimulationConfig().engine
-    print(f"default engine:                   {engine} ({generation} generation; "
-          "not exercised here — this demo is functional-only)")
-    print(f"host throughput:                  {kwups:,.0f} kilo-work-units/s "
-          f"({total_work:,} work units in {host_seconds:.4f} s)")
-
-    unit = vm.nested_translation_unit(process)
-    cold = unit.walk(vma.start, _FlatMemory())
-    warm = unit.walk(vma.start, _FlatMemory())
-    print(f"2-D (nested) walk, cold:          {cold.memory_accesses} memory accesses")
+    # Two-dimensional walk cost through the real memory hierarchy: a cold
+    # walk pays the O(n*m) 2-D blow-up in actual cache/DRAM accesses, a
+    # nested-TLB hit pays none.
+    unit = system.mmu.nested_unit
+    probe = workload._vmas[0].start
+    unit.nested_tlb.invalidate(probe)
+    cold = unit.walk(probe, system.memory)
+    warm = unit.walk(probe, system.memory)
+    print(f"2-D (nested) walk, cold:          {cold.memory_accesses} memory accesses "
+          f"({cold.guest_latency} guest + {cold.host_latency} host cycles)")
     print(f"2-D (nested) walk, nested-TLB hit: {warm.memory_accesses} memory accesses")
+
+    simulated = report.instructions + report.kernel_instructions
+    kips = simulated / 1000.0 / report.host_seconds if report.host_seconds else 0.0
+    generation = "numpy-vectorised" if vectorization_enabled() else "pure-python"
+    print(f"  {'engine':>22}: {config.simulation.engine} ({generation} generation, "
+          "virtualized mode)")
+    print(f"  {'host throughput':>22}: {kips:,.0f} KIPS "
+          f"({simulated:,} simulated instructions in {report.host_seconds:.3f} s)")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.common.config import (
     PageTableConfig,
     SimulationConfig,
     SystemConfig,
+    VirtualizationConfig,
     baseline_system_config,
     real_system_reference_config,
     scaled_system_config,
@@ -53,6 +54,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationReport",
     "SystemConfig",
+    "VirtualizationConfig",
     "Virtuoso",
     "baseline_system_config",
     "real_system_reference_config",

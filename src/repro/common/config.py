@@ -185,6 +185,34 @@ class MimicOSConfig:
 
 
 @dataclass(frozen=True)
+class VirtualizationConfig:
+    """Virtualised execution (§6.1): a guest MimicOS over a hypervisor MimicOS.
+
+    When ``enabled``, the engine spawns *two* MimicOS instances — the
+    system's :class:`MimicOSConfig` describes the hypervisor (host), and the
+    guest kernel is derived from the fields below — couples them through a
+    :class:`~repro.mimicos.hypervisor.VirtualMachine`, and switches the MMU
+    to two-dimensional translation (guest page table x nested/extended page
+    table) with a nested TLB in front.
+    """
+
+    enabled: bool = False
+    #: Guest "physical" memory: a region of the hypervisor's virtual address
+    #: space, backed lazily by host page faults.
+    guest_memory_bytes: int = 128 * MB
+    #: Translation structure the guest kernel gives its processes (the host
+    #: side uses the system-wide :class:`PageTableConfig`).
+    guest_page_table: PageTableConfig = field(default_factory=PageTableConfig)
+    #: THP policy inside the guest kernel.
+    guest_thp_policy: str = "linux"
+    #: Guest-side swap (0: the guest never swaps; host-side reclaim still
+    #: applies to the frames backing guest RAM).
+    guest_swap_size_bytes: int = 0
+    #: Entries in the per-core nested (guest-virtual -> host-physical) TLB.
+    nested_tlb_entries: int = 64
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """How the architectural simulator couples to MimicOS."""
 
@@ -237,6 +265,7 @@ class SystemConfig:
     mimicos: MimicOSConfig = field(default_factory=MimicOSConfig)
     ssd: SSDConfig = field(default_factory=SSDConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    virtualization: VirtualizationConfig = field(default_factory=VirtualizationConfig)
 
     def with_page_table(self, page_table: PageTableConfig, name: Optional[str] = None) -> "SystemConfig":
         """Copy of this configuration with a different translation scheme."""
@@ -249,6 +278,11 @@ class SystemConfig:
     def with_simulation(self, simulation: SimulationConfig, name: Optional[str] = None) -> "SystemConfig":
         """Copy of this configuration with a different simulation coupling mode."""
         return replace(self, simulation=simulation, name=name or self.name)
+
+    def with_virtualization(self, virtualization: VirtualizationConfig,
+                            name: Optional[str] = None) -> "SystemConfig":
+        """Copy of this configuration running the workload inside a guest VM."""
+        return replace(self, virtualization=virtualization, name=name or self.name)
 
 
 def baseline_system_config(physical_memory_bytes: int = 16 * GB,

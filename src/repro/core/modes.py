@@ -161,17 +161,33 @@ class OSCoupling:
 
     def _dispatch_to_kernel(self, pid: int, virtual_address: int):
         """Run the functional-channel protocol and return the kernel's result."""
+        return self._fault_protocol(
+            pid, virtual_address,
+            resolve=lambda now: self.kernel.handle_page_fault(pid, virtual_address,
+                                                              now_cycles=now),
+            describe=lambda result: PageFaultResponse(
+                sequence=0, handled=not result.segfault,
+                physical_base=result.physical_base,
+                page_size=result.page_size,
+                is_major=result.is_major,
+                disk_latency_cycles=result.disk_latency_cycles))
+
+    def _fault_protocol(self, pid: int, virtual_address: int, resolve, describe):
+        """The functional-channel request/response round trip.
+
+        ``resolve(now_cycles)`` performs the kernel-side work and returns its
+        result object; ``describe(result)`` renders it as the
+        :class:`PageFaultResponse` to post (the sequence number is stamped
+        here).  Shared by the single-kernel and virtualized dispatch paths
+        so the protocol exists exactly once.
+        """
         request = PageFaultRequest(pid=pid, virtual_address=virtual_address)
         sequence = self.functional_channel.send_request(request)
         received = self.functional_channel.receive_request()
         assert received is request, "functional channel delivered the wrong request"
-        result = self.kernel.handle_page_fault(pid, virtual_address,
-                                               now_cycles=self._now_cycles())
-        response = PageFaultResponse(sequence=sequence, handled=not result.segfault,
-                                     physical_base=result.physical_base,
-                                     page_size=result.page_size,
-                                     is_major=result.is_major,
-                                     disk_latency_cycles=result.disk_latency_cycles)
+        result = resolve(self._now_cycles())
+        response = describe(result)
+        response.sequence = sequence
         self.functional_channel.send_response(response)
         answer = self.functional_channel.receive_response(sequence)
         assert answer is response
@@ -206,17 +222,7 @@ class ImitationCoupling(OSCoupling):
     def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
         self.counters.add("page_faults")
         result = self._dispatch_to_kernel(pid, virtual_address)
-        core_index = self._active_core_index
-        if self.use_kernel_batches:
-            batch = self.instrumentation.expand_batch(result.trace)
-            self.instruction_channel.push_batch(batch, destination=core_index)
-            execution_cycles = self.core.execute_kernel_batch(
-                self.instruction_channel.pop_for(core_index))
-        else:
-            stream = self.instrumentation.expand(result.trace)
-            self.instruction_channel.push(stream, destination=core_index)
-            execution_cycles = self.core.execute_kernel_stream(
-                self.instruction_channel.pop_for(core_index))
+        execution_cycles = self._execute_trace(result.trace, self._active_core_index)
         latency = int(execution_cycles) + result.disk_latency_cycles
         latency = self._post_process_latency(latency, result)
         self.fault_latency.add(latency)
@@ -224,6 +230,24 @@ class ImitationCoupling(OSCoupling):
         if result.is_major:
             self.counters.add("major_faults")
         return latency, not result.segfault
+
+    def _execute_trace(self, trace: KernelRoutineTrace, core_index: int) -> float:
+        """Expand one kernel trace and execute it on the bound core.
+
+        Engine-selected representation (array-backed batches on the batch
+        engine, per-object streams on legacy), routed through the
+        instruction channel to ``core_index`` exactly as a single-trace
+        fault is; returns the cycles the stream consumed.
+        """
+        if self.use_kernel_batches:
+            batch = self.instrumentation.expand_batch(trace)
+            self.instruction_channel.push_batch(batch, destination=core_index)
+            return self.core.execute_kernel_batch(
+                self.instruction_channel.pop_for(core_index))
+        stream = self.instrumentation.expand(trace)
+        self.instruction_channel.push(stream, destination=core_index)
+        return self.core.execute_kernel_stream(
+            self.instruction_channel.pop_for(core_index))
 
     def _post_process_latency(self, latency: int, result) -> int:
         """Hook for subclasses (the reference coupling adds measured noise)."""
@@ -294,6 +318,58 @@ class FullSystemCoupling(ImitationCoupling):
         return self.core.execute_kernel_stream(self.instrumentation.expand(trace))
 
 
+class VirtualizedCoupling(ImitationCoupling):
+    """Two-kernel coupling for virtualised guests (§6.1).
+
+    The application runs inside a guest MimicOS whose "physical" memory is a
+    region of the hypervisor MimicOS's virtual address space.  A guest page
+    fault is dispatched to the :class:`~repro.mimicos.hypervisor
+    .VirtualMachine`: the guest kernel resolves it against guest-physical
+    memory and, when the chosen guest frame has no host backing yet, the
+    hypervisor takes its own fault on the guest-RAM mapping.  *Both* kernels'
+    traces are expanded and executed on the faulting core — the guest
+    handler's instructions and the hypervisor's — so a nested fault costs
+    two injected kernel streams plus both levels' disk latency, exactly the
+    two-level cost profile the paper's virtualisation model describes.
+    """
+
+    name = "virtualized"
+
+    def __init__(self, vm, core: CoreModel, simulation_config: SimulationConfig,
+                 instrumentation: Optional[InstrumentationTool] = None):
+        super().__init__(vm.guest, core, simulation_config, instrumentation)
+        self.vm = vm
+
+    def handle_page_fault(self, pid: int, virtual_address: int) -> Tuple[int, bool]:
+        self.counters.add("page_faults")
+        result = self._dispatch_to_vm(pid, virtual_address)
+        core_index = self._active_core_index
+        execution_cycles = self._execute_trace(result.guest.trace, core_index)
+        if result.host is not None:
+            self.counters.add("hypervisor_faults")
+            execution_cycles += self._execute_trace(result.host.trace, core_index)
+        latency = int(execution_cycles) + result.total_disk_latency_cycles
+        latency = self._post_process_latency(latency, result.guest)
+        self.fault_latency.add(latency)
+        self.kernel.fault_latency.add(latency)
+        if result.guest.is_major or (result.host is not None and result.host.is_major):
+            self.counters.add("major_faults")
+        return latency, not result.segfault
+
+    def _dispatch_to_vm(self, pid: int, virtual_address: int):
+        """Functional-channel protocol against the VM's two-level fault path."""
+        return self._fault_protocol(
+            pid, virtual_address,
+            resolve=lambda now: self.vm.handle_guest_page_fault(pid, virtual_address,
+                                                                now_cycles=now),
+            describe=lambda result: PageFaultResponse(
+                sequence=0, handled=not result.segfault,
+                physical_base=result.guest.physical_base,
+                page_size=result.guest.page_size,
+                is_major=result.guest.is_major,
+                disk_latency_cycles=result.total_disk_latency_cycles))
+
+
 class ReferenceCoupling(ImitationCoupling):
     """Stand-in for the real validation machine (see DESIGN.md §2).
 
@@ -324,9 +400,20 @@ class ReferenceCoupling(ImitationCoupling):
 
 
 def build_coupling(simulation_config: SimulationConfig, kernel: MimicOS,
-                   core: CoreModel) -> OSCoupling:
-    """Factory mapping ``SimulationConfig.os_mode`` to a coupling instance."""
+                   core: CoreModel, vm=None) -> OSCoupling:
+    """Factory mapping ``SimulationConfig.os_mode`` to a coupling instance.
+
+    When ``vm`` (a :class:`~repro.mimicos.hypervisor.VirtualMachine`) is
+    given, the coupling routes application faults through the guest kernel
+    and guest-RAM backing faults through the hypervisor; only the imitation
+    protocol supports the two-stream injection this requires.
+    """
     mode = simulation_config.os_mode
+    if vm is not None:
+        if mode != "imitation":
+            raise ValueError(
+                f"virtualized execution requires os_mode='imitation', got {mode!r}")
+        return VirtualizedCoupling(vm, core, simulation_config)
     if mode == "imitation":
         return ImitationCoupling(kernel, core, simulation_config)
     if mode == "emulation":

@@ -53,8 +53,14 @@ from repro.common.stats import Counter
 from repro.core.cpu import CoreModel
 from repro.core.modes import FixedLatencyPageTable, OSCoupling, build_coupling
 from repro.core.report import SimulationReport
-from repro.core.virtuoso import build_report
+from repro.core.virtuoso import (
+    build_report,
+    build_virtual_machine,
+    resolve_mmu_extensions,
+    virtualization_details,
+)
 from repro.memhier.memory_system import MemoryHierarchy
+from repro.mimicos.hypervisor import VirtualMachine
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mmu.extensions import MMUExtensions
@@ -156,9 +162,21 @@ class MultiCoreVirtuoso:
         # every other core gets a private-L1 view aliasing those levels.
         self.memory = MemoryHierarchy.from_system_config(config)
         self.ssd = SSDModel(config.ssd, config.core.frequency_ghz)
-        self.kernel = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
-                              rng=self.rng.fork(3))
+        # In virtualised mode the system MimicOS config describes the
+        # hypervisor; the guest kernel (spawned through the VM) is the OS
+        # the tasks, the run queue and the fault routing operate against.
+        self.hypervisor: Optional[MimicOS] = None
+        self.vm: Optional[VirtualMachine] = None
+        if config.virtualization.enabled:
+            self.hypervisor = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
+                                      rng=self.rng.fork(3))
+            self.vm = build_virtual_machine(self.hypervisor, config, self.rng)
+            self.kernel = self.vm.guest
+        else:
+            self.kernel = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
+                                  rng=self.rng.fork(3))
 
+        mmu_extensions = resolve_mmu_extensions(config, mmu_extensions)
         self.cores: List[SimulatedCore] = []
         for index in range(num_cores):
             memory = self.memory if index == 0 else \
@@ -173,7 +191,7 @@ class MultiCoreVirtuoso:
         # core's fault callback rebinds the coupling to itself first, so the
         # handler stream is routed to (and executed on) the faulting core.
         self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel,
-                                                   self.cores[0].core)
+                                                   self.cores[0].core, vm=self.vm)
         # Kernel-visible time is the leading core's clock: co-running cores
         # share wall time, so SSD channel queues and swap aging must not see
         # one core's future as another core's past.  (With one core this is
@@ -184,14 +202,23 @@ class MultiCoreVirtuoso:
             unit.mmu.set_fault_callback(self._fault_router(unit))
             # Kernel unmaps/remaps broadcast a TLB shootdown to every core;
             # each MMU acts only when it currently runs the target address
-            # space (the IPI filter real kernels apply).
+            # space (the IPI filter real kernels apply).  In virtualised
+            # mode this is the guest kernel's shootdown; hypervisor remaps
+            # of guest-RAM backing broadcast a nested invalidation to every
+            # core on top (no pid filter — combined mappings are suspect on
+            # every core running any guest context).
             self.kernel.register_tlb_listener(unit.mmu.invalidate_translation)
+            if self.vm is not None:
+                self.vm.register_nested_invalidation_listener(
+                    lambda host_virtual, mmu=unit.mmu:
+                        mmu.invalidate_nested_translations())
 
         #: Emulation-mode fixed-latency wrappers, keyed by pid.
         self._emulation_wrappers: Dict[int, FixedLatencyPageTable] = {}
 
         if config.mimicos.fragmentation_target < 1.0:
-            self.kernel.fragment_memory()
+            # config.mimicos describes the hypervisor in virtualised mode.
+            (self.hypervisor or self.kernel).fragment_memory()
 
     def _fault_router(self, unit: SimulatedCore):
         coupling = self.coupling
@@ -206,7 +233,12 @@ class MultiCoreVirtuoso:
     # Address-space setup
     # ------------------------------------------------------------------ #
     def create_process(self, name: str = "") -> Process:
-        """Create a process (its MMU context is established when scheduled)."""
+        """Create a process (its MMU context is established when scheduled).
+
+        In virtualised mode the process lives inside the guest OS.
+        """
+        if self.vm is not None:
+            return self.vm.create_guest_process(name)
         process = self.kernel.create_process(name)
         page_table = process.page_table
         if self.config.simulation.os_mode == "emulation" and not page_table.replaces_tlbs:
@@ -217,11 +249,12 @@ class MultiCoreVirtuoso:
 
     def prefault(self, process: Process, addresses) -> int:
         """Install translations functionally, charging no simulated time."""
+        handler = (self.vm.handle_guest_page_fault if self.vm is not None
+                   else self.kernel.handle_page_fault)
         faults = 0
         for address in addresses:
             if process.page_table.lookup(address) is None:
-                result = self.kernel.handle_page_fault(process.pid, address)
-                if result.segfault:
+                if handler(process.pid, address).segfault:
                     raise RuntimeError(f"prefault segfaulted at {address:#x}")
                 faults += 1
         self.counters.add("prefaulted_pages", faults)
@@ -242,6 +275,11 @@ class MultiCoreVirtuoso:
         if unit.current_pid == process.pid and process.last_core == unit.index:
             return
         self.kernel.context_switch(unit.index, process)
+        if self.vm is not None:
+            # The incoming guest context brings its per-core 2-D unit; the
+            # flush below drops its nested TLB with the rest (untagged-TLB
+            # semantics, same as the native context switch).
+            unit.mmu.set_nested_unit(self.vm.nested_unit_for(process, unit.index))
         page_table = self._emulation_wrappers.get(process.pid, process.page_table)
         unit.mmu.set_context(process.pid, page_table, flush_tlbs=True)
         unit.current_pid = process.pid
@@ -450,4 +488,7 @@ class MultiCoreVirtuoso:
             "coupling": self.coupling.stats(),
             "scheduler": self.counters.as_dict(),
         }
+        if self.vm is not None:
+            merged.details["virtualization"] = virtualization_details(self.vm,
+                                                                      self.hypervisor)
         return merged

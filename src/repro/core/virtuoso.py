@@ -16,6 +16,7 @@ benchmarks use:
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, Iterable, Optional
 
 from repro.common.config import SystemConfig
@@ -26,12 +27,43 @@ from repro.core.instructions import Instruction, InstructionStream
 from repro.core.modes import FixedLatencyPageTable, OSCoupling, build_coupling
 from repro.core.report import SimulationReport
 from repro.memhier.memory_system import MemoryHierarchy
+from repro.mimicos.hypervisor import VirtualMachine
 from repro.mimicos.kernel import MimicOS
 from repro.mimicos.process import Process
 from repro.mmu.extensions import MMUExtensions
 from repro.mmu.mmu import MMU
 from repro.mmu.tlb import TLBHierarchy
 from repro.storage.ssd import SSDModel
+
+
+def resolve_mmu_extensions(config: SystemConfig,
+                           mmu_extensions: Optional[MMUExtensions]) -> MMUExtensions:
+    """The MMU extension set a system runs with.
+
+    Virtualised systems force ``nested_translation`` on: the 2-D walk *is*
+    the translation hardware of a virtualised core, not an optional add-on.
+    """
+    extensions = mmu_extensions or MMUExtensions()
+    if config.virtualization.enabled and not extensions.nested_translation:
+        extensions = replace(extensions, nested_translation=True)
+    return extensions
+
+
+def build_virtual_machine(hypervisor: MimicOS, config: SystemConfig,
+                          rng: DeterministicRNG) -> VirtualMachine:
+    """Spawn the guest MimicOS over ``hypervisor`` per the system config."""
+    return VirtualMachine.from_virtualization_config(
+        hypervisor, config.virtualization, name=f"{config.name}-vm",
+        rng=rng.fork(5))
+
+
+def virtualization_details(vm: VirtualMachine, hypervisor: MimicOS) -> Dict[str, object]:
+    """The virtualisation section of a report's ``details`` (both engines
+    produce it identically, so the parity harness diffs it too)."""
+    return {
+        "vm": vm.stats(),
+        "hypervisor": hypervisor.stats(),
+    }
 
 
 class Virtuoso:
@@ -47,33 +79,62 @@ class Virtuoso:
         self.memory = MemoryHierarchy.from_system_config(config)
         self.tlbs = TLBHierarchy(config.l1i_tlb, config.l1d_tlb_4k,
                                  config.l1d_tlb_2m, config.l2_tlb)
-        self.mmu = MMU(self.tlbs, self.memory, mmu_extensions)
+        self.mmu = MMU(self.tlbs, self.memory,
+                       resolve_mmu_extensions(config, mmu_extensions))
 
-        # Storage and the OS.
+        # Storage and the OS.  In virtualised mode the system-level MimicOS
+        # config describes the *hypervisor*; the guest kernel — the OS the
+        # application and every process-facing API below sees — is spawned
+        # on top of it through the VirtualMachine.
         self.ssd = SSDModel(config.ssd, config.core.frequency_ghz)
-        self.kernel = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
-                              rng=self.rng.fork(3))
+        self.hypervisor: Optional[MimicOS] = None
+        self.vm: Optional[VirtualMachine] = None
+        if config.virtualization.enabled:
+            self.hypervisor = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
+                                      rng=self.rng.fork(3))
+            self.vm = build_virtual_machine(self.hypervisor, config, self.rng)
+            self.kernel = self.vm.guest
+        else:
+            self.kernel = MimicOS(config.mimicos, config.page_table, ssd=self.ssd,
+                                  rng=self.rng.fork(3))
 
         # Core model and the OS coupling.
         self.core = CoreModel(config.core, self.mmu, self.memory)
-        self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel, self.core)
+        self.coupling: OSCoupling = build_coupling(config.simulation, self.kernel,
+                                                   self.core, vm=self.vm)
         self.mmu.set_fault_callback(self.coupling.handle_page_fault)
         # Kernel unmaps/remaps (reclaim, khugepaged, THP promotion, munmap,
         # restrictive-mapping evictions) shoot stale translations out of the
         # TLBs, exactly as the IPI-based shootdown does on real hardware.
+        # In virtualised mode this is the *guest* kernel's shootdown; the
+        # hypervisor's remaps of guest-RAM backing additionally broadcast a
+        # nested (combined-mapping) invalidation through the VM.
         self.kernel.register_tlb_listener(self.mmu.invalidate_translation)
+        if self.vm is not None:
+            self.vm.register_nested_invalidation_listener(
+                lambda host_virtual: self.mmu.invalidate_nested_translations())
 
         #: Emulation-mode fixed-latency wrappers, keyed by pid.
         self._emulation_wrappers: Dict[int, FixedLatencyPageTable] = {}
 
         if config.mimicos.fragmentation_target < 1.0:
-            self.kernel.fragment_memory()
+            # config.mimicos describes the hypervisor in virtualised mode.
+            (self.hypervisor or self.kernel).fragment_memory()
 
     # ------------------------------------------------------------------ #
     # Address-space setup
     # ------------------------------------------------------------------ #
     def create_process(self, name: str = "") -> Process:
-        """Create a process and point the MMU at its address space."""
+        """Create a process and point the MMU at its address space.
+
+        In virtualised mode the process lives inside the guest OS and the
+        MMU additionally receives the process's 2-D translation unit.
+        """
+        if self.vm is not None:
+            process = self.vm.create_guest_process(name)
+            self.mmu.set_nested_unit(self.vm.nested_unit_for(process))
+            self.mmu.set_context(process.pid, process.page_table)
+            return process
         process = self.kernel.create_process(name)
         page_table = process.page_table
         if self.config.simulation.os_mode == "emulation" and not page_table.replaces_tlbs:
@@ -85,6 +146,8 @@ class Virtuoso:
 
     def activate_process(self, process: Process) -> None:
         """Switch the MMU to ``process`` (flushing the TLBs, as on a context switch)."""
+        if self.vm is not None:
+            self.mmu.set_nested_unit(self.vm.nested_unit_for(process))
         page_table = self._emulation_wrappers.get(process.pid, process.page_table)
         self.mmu.set_context(process.pid, page_table, flush_tlbs=True)
 
@@ -106,11 +169,14 @@ class Virtuoso:
         translation are not dominated by cold faults.  Returns the number of
         faults taken.
         """
+        # In virtualised mode the VM handler installs both dimensions: the
+        # guest translation and the host frame backing the guest frame.
+        handler = (self.vm.handle_guest_page_fault if self.vm is not None
+                   else self.kernel.handle_page_fault)
         faults = 0
         for address in addresses:
             if process.page_table.lookup(address) is None:
-                result = self.kernel.handle_page_fault(process.pid, address)
-                if result.segfault:
+                if handler(process.pid, address).segfault:
                     raise RuntimeError(f"prefault segfaulted at {address:#x}")
                 faults += 1
         self.counters.add("prefaulted_pages", faults)
@@ -172,10 +238,14 @@ class Virtuoso:
         return self._build_report_named(getattr(workload, "name", str(workload)), host_seconds)
 
     def _build_report_named(self, workload_name: str, host_seconds: float) -> SimulationReport:
-        return build_report(workload_name, host_seconds, config=self.config,
-                            core=self.core, mmu=self.mmu, tlbs=self.tlbs,
-                            memory=self.memory, kernel=self.kernel,
-                            coupling=self.coupling)
+        report = build_report(workload_name, host_seconds, config=self.config,
+                              core=self.core, mmu=self.mmu, tlbs=self.tlbs,
+                              memory=self.memory, kernel=self.kernel,
+                              coupling=self.coupling)
+        if self.vm is not None:
+            report.details["virtualization"] = virtualization_details(self.vm,
+                                                                      self.hypervisor)
+        return report
 
 
 def build_report(workload_name: str, host_seconds: float, *, config: SystemConfig,

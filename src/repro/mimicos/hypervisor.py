@@ -14,13 +14,15 @@ The hardware side of that 2-D walk is modelled by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.addresses import PAGE_SIZE_4K, align_down
-from repro.common.config import MimicOSConfig, PageTableConfig
+from repro.common.config import MimicOSConfig, PageTableConfig, VirtualizationConfig
+from repro.common.rng import DeterministicRNG
 from repro.common.stats import Counter
 from repro.mimicos.fault import PageFaultResult
 from repro.mimicos.kernel import MimicOS
+from repro.mimicos.ops import KernelRoutineTrace
 from repro.mimicos.process import Process
 from repro.mimicos.vma import VMAKind, VirtualMemoryArea
 from repro.mmu.nested import NestedTranslationUnit
@@ -64,9 +66,12 @@ class VirtualMachine:
     def __init__(self, host: MimicOS, guest_memory_bytes: int,
                  guest_config: Optional[MimicOSConfig] = None,
                  guest_page_table_config: Optional[PageTableConfig] = None,
-                 name: str = "vm"):
+                 name: str = "vm",
+                 nested_tlb_entries: int = 64,
+                 rng: Optional[DeterministicRNG] = None):
         self.host = host
         self.name = name
+        self.nested_tlb_entries = nested_tlb_entries
         self.counters = Counter()
 
         guest_config = guest_config or MimicOSConfig(
@@ -76,13 +81,44 @@ class VirtualMachine:
             page_cache_size_bytes=min(guest_memory_bytes // 8, 64 << 20),
             fragmentation_target=1.0,
         )
-        self.guest = MimicOS(guest_config, guest_page_table_config or PageTableConfig())
+        self.guest = MimicOS(guest_config, guest_page_table_config or PageTableConfig(),
+                             rng=rng)
 
         # The hypervisor process that owns the guest's RAM backing.
         self.host_process: Process = host.create_process(f"{name}-vmm")
         self.guest_ram_vma: VirtualMemoryArea = host.mmap(
             self.host_process, guest_memory_bytes, kind=VMAKind.ANONYMOUS,
             name=f"{name}-guest-ram")
+
+        #: Per-(pid, core) nested translation units, memoised so nested-TLB
+        #: hardware state survives across faults on the same core.
+        self._nested_units: Dict[Tuple[int, int], NestedTranslationUnit] = {}
+        #: Engine-registered callbacks ``(host_virtual) -> None`` fired when
+        #: the hypervisor remaps a frame backing guest RAM (the nested /
+        #: combined-mapping shootdown of the two-level TLB protocol).
+        self._nested_listeners: List[Callable[[int], None]] = []
+        # Every host-side unmap/remap already announces itself through the
+        # host kernel's TLB-shootdown broadcast (swap-out reclaim, Utopia
+        # evictions, khugepaged collapse, THP promotion, munmap); hooking it
+        # is what keeps the nested TLBs coherent with the extended table.
+        host.register_tlb_listener(self._on_host_shootdown)
+
+    @classmethod
+    def from_virtualization_config(cls, host: MimicOS, config: VirtualizationConfig,
+                                   name: str = "vm",
+                                   rng: Optional[DeterministicRNG] = None) -> "VirtualMachine":
+        """Build a VM as described by a :class:`VirtualizationConfig`."""
+        guest_memory = config.guest_memory_bytes
+        guest_config = MimicOSConfig(
+            physical_memory_bytes=guest_memory,
+            thp_policy=config.guest_thp_policy,
+            swap_size_bytes=config.guest_swap_size_bytes,
+            page_cache_size_bytes=min(guest_memory // 8, 64 << 20),
+            fragmentation_target=1.0,
+        )
+        return cls(host, guest_memory, guest_config=guest_config,
+                   guest_page_table_config=config.guest_page_table, name=name,
+                   nested_tlb_entries=config.nested_tlb_entries, rng=rng)
 
     # ------------------------------------------------------------------ #
     # Guest-side API
@@ -99,19 +135,72 @@ class VirtualMachine:
                                 now_cycles: int = 0) -> NestedFaultResult:
         """Handle a guest fault, propagating to the hypervisor when needed.
 
-        The guest kernel resolves the fault against guest-physical memory;
-        if the chosen guest-physical frame is not yet backed by host memory,
-        the hypervisor takes a (host) page fault on the guest-RAM mapping and
-        allocates the backing frame — both traces are returned so the
-        simulator can inject the instruction streams of both kernels.
+        Two shapes, mirroring hardware virtualisation:
+
+        * guest translation missing — the guest kernel resolves the fault
+          against guest-physical memory; if the chosen guest-physical frame
+          is not yet backed by host memory, the hypervisor takes a (host)
+          page fault on the guest-RAM mapping and allocates the backing
+          frame.  Both traces are returned so the simulator can inject the
+          instruction streams of both kernels.
+        * guest translation intact but host backing missing (an EPT
+          violation: the hypervisor reclaimed or never populated the backing
+          for this offset) — the guest kernel is *not* involved; only the
+          hypervisor's fault runs, re-backing the page (a swap-in when host
+          reclaim pushed it out).
         """
         self.counters.add("guest_page_faults")
+        process = self.guest.processes.get(pid)
+        mapping = (process.page_table.lookup(guest_virtual)
+                   if process is not None and process.page_table is not None else None)
+        if mapping is not None:
+            return self._handle_ept_violation(guest_virtual, mapping, now_cycles)
+
         guest_result = self.guest.handle_page_fault(pid, guest_virtual, now_cycles)
         if guest_result.segfault:
             return NestedFaultResult(guest=guest_result)
 
         host_result = None
-        host_virtual = self.guest_physical_to_host_virtual(guest_result.physical_base)
+        # Back the host page under the *faulting offset* of whatever guest
+        # frame now maps the address.  Two traps lurk here: (i) when the
+        # hypervisor backs a 2 MB guest frame with 4 KB host frames (memory
+        # pressure, fragmentation), backing only the frame base would leave
+        # the faulting address itself unbacked; (ii) the guest fault can
+        # trigger khugepaged collapse, which *replaces* the just-allocated
+        # frame with a fresh 2 MB one — so the post-handling page table, not
+        # the fault result, names the frame the retried walk will reach.
+        # Other offsets stay lazy; they surface later as EPT violations.
+        mapping = process.page_table.lookup(guest_virtual)
+        if mapping is not None:
+            guest_physical = mapping[0] + (guest_virtual % mapping[1])
+        else:
+            guest_physical = (guest_result.physical_base
+                              + (guest_virtual % guest_result.page_size))
+        host_virtual = self.guest_physical_to_host_virtual(guest_physical)
+        if self.host_process.page_table.lookup(host_virtual) is None:
+            self.counters.add("hypervisor_backing_faults")
+            host_result = self.host.handle_page_fault(self.host_process.pid, host_virtual,
+                                                      now_cycles)
+        return NestedFaultResult(guest=guest_result, host=host_result)
+
+    def _handle_ept_violation(self, guest_virtual: int, mapping: Tuple[int, int],
+                              now_cycles: int) -> NestedFaultResult:
+        """Back (or re-back) the host page under an intact guest translation.
+
+        The guest-side result is a synthetic no-work record (an EPT
+        violation VM-exits straight into the hypervisor; no guest kernel
+        code runs), carrying the existing guest translation so the coupling
+        can answer the functional channel.
+        """
+        self.counters.add("ept_violations")
+        guest_base, page_size = mapping
+        guest_physical = guest_base + (guest_virtual % page_size)
+        guest_result = PageFaultResult(virtual_address=guest_virtual,
+                                       physical_base=guest_base,
+                                       page_size=page_size,
+                                       trace=KernelRoutineTrace("ept_violation"))
+        host_virtual = self.guest_physical_to_host_virtual(guest_physical)
+        host_result = None
         if self.host_process.page_table.lookup(host_virtual) is None:
             self.counters.add("hypervisor_backing_faults")
             host_result = self.host.handle_page_fault(self.host_process.pid, host_virtual,
@@ -134,7 +223,60 @@ class VirtualMachine:
         the guest-RAM VMA) to host-physical frames.
         """
         return NestedTranslationUnit(guest_process.page_table,
-                                     _HostBackingPageTable(self))
+                                     _HostBackingPageTable(self),
+                                     nested_tlb_entries=self.nested_tlb_entries)
+
+    def nested_unit_for(self, guest_process: Process,
+                        core_index: int = 0) -> NestedTranslationUnit:
+        """The memoised per-(process, core) 2-D unit the engines install.
+
+        The nested TLB is per-core hardware, so each simulated core gets its
+        own unit; memoisation keeps that hardware state alive across
+        repeated context switches onto the same core (the orchestrators
+        still flush it on every switch-in, matching the untagged-TLB
+        semantics of the rest of the model).
+        """
+        key = (guest_process.pid, core_index)
+        unit = self._nested_units.get(key)
+        if unit is None:
+            unit = self.nested_translation_unit(guest_process)
+            self._nested_units[key] = unit
+        return unit
+
+    # ------------------------------------------------------------------ #
+    # Two-level shootdowns (hypervisor remap -> nested invalidation)
+    # ------------------------------------------------------------------ #
+    def register_nested_invalidation_listener(self,
+                                              listener: Callable[[int], None]) -> None:
+        """Register a ``(host_virtual) -> None`` nested-shootdown callback.
+
+        The orchestrator registers one per simulated core (its MMU's
+        :meth:`~repro.mmu.mmu.MMU.invalidate_nested_translations`), fired
+        whenever the hypervisor remaps a frame backing this VM's guest RAM.
+        """
+        self._nested_listeners.append(listener)
+
+    def _on_host_shootdown(self, pid: int, host_virtual: int) -> None:
+        """Host kernel remapped a page; propagate if it backs guest RAM.
+
+        Only shootdowns of the VMM process's guest-RAM mapping matter: they
+        change the guest-physical -> host-physical dimension, so every
+        combined (guest-virtual -> host-physical) translation cached by a
+        nested TLB, an L1/L2 TLB or the VPN translation cache may be stale.
+        The memoised nested units are flushed here (covers units not
+        currently installed on any core); the registered listeners flush the
+        per-core TLB state on top.
+        """
+        if pid != self.host_process.pid:
+            return
+        vma = self.guest_ram_vma
+        if not (vma.start <= host_virtual < vma.end):
+            return
+        self.counters.add("nested_shootdowns")
+        for unit in self._nested_units.values():
+            unit.flush()
+        for listener in self._nested_listeners:
+            listener(host_virtual)
 
     def stats(self) -> Dict[str, int]:
         """Raw counter snapshot."""

@@ -251,13 +251,19 @@ class MimicOS:
                     and self.thp_policy.name == "linux"):
                 self._run_khugepaged(result.trace)
             if "swap" in self.config.kernel_modules:
-                self._maybe_reclaim(now_cycles, result)
+                self._maybe_reclaim(now_cycles, result, pid)
         return result
 
     def _record_residency(self, pid: int, result: PageFaultResult) -> None:
         key = (pid, align_down(result.virtual_address, result.page_size))
         from_buddy = result.physical_base < self.buddy.total_bytes
         self._resident[key] = (result.physical_base, result.page_size, from_buddy)
+        # A re-faulted page (its stale entry survives restrictive-mapping
+        # evictions, which unmap without releasing) is the *most recently*
+        # used page, so it must move to the back of the reclaim order —
+        # this is also what makes _maybe_reclaim's "protected entry reached
+        # => queue drained" early exit sound.
+        self._resident.move_to_end(key)
 
     def _run_khugepaged(self, trace: KernelRoutineTrace) -> None:
         self._faults_since_khugepaged = 0
@@ -267,16 +273,31 @@ class MimicOS:
             trace.extend(collapse.trace)
         self.counters.add("khugepaged_runs")
 
-    def _maybe_reclaim(self, now_cycles: int, result: PageFaultResult) -> None:
-        """kswapd-style reclaim: swap out cold pages when memory usage is high."""
+    def _maybe_reclaim(self, now_cycles: int, result: PageFaultResult,
+                       faulting_pid: int = -1) -> None:
+        """kswapd-style reclaim: swap out cold pages when memory usage is high.
+
+        The page the current fault just installed is exempt: real kernels
+        keep the faulting page locked/young during reclaim, and swapping it
+        back out inside its own fault would make the handler report success
+        while leaving no translation behind (the retried walk would then
+        segfault — a bug the virtualised guest-RAM backing path, whose
+        hypervisor runs under deliberately tight memory, actually hit).
+        """
         threshold = self.config.swap_threshold
         if self.buddy.usage < threshold or self.swap.capacity_slots == 0:
             return
         target_usage = max(0.0, threshold - 0.05)
+        protected = (faulting_pid, align_down(result.virtual_address, result.page_size))
         trace = result.trace
         reclaim_op_added = False
         while self.buddy.usage > target_usage and self._resident and self.swap.free_slots > 0:
             (pid, virtual_base), (physical, size, from_buddy) = self._resident.popitem(last=False)
+            if (pid, virtual_base) == protected:
+                # The faulting page is the newest resident entry; reaching
+                # it means every other candidate is gone — keep it mapped.
+                self._resident[(pid, virtual_base)] = (physical, size, from_buddy)
+                break
             process = self.processes.get(pid)
             if process is None or process.page_table is None:
                 continue

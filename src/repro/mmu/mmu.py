@@ -83,7 +83,14 @@ class MemoryOperationResult:
 
 
 class _NestedWalkAdapter:
-    """Adapts a nested (2-D) walk outcome to the ``WalkResult`` duck type."""
+    """Adapts a nested (2-D) walk outcome to the ``WalkResult`` duck type.
+
+    The guest-dimension share of the walk is reported as ``frontend_latency``
+    and the host-dimension share as ``backend_latency`` — never the combined
+    2-D latency in one field, which would double-count the guest walk as
+    host (backend) time in per-backend attribution.  On a nested-TLB hit
+    both shares are zero: no table was walked in either dimension.
+    """
 
     __slots__ = ("found", "latency", "memory_accesses", "physical_base",
                  "page_size", "frontend_latency", "backend_latency")
@@ -94,8 +101,8 @@ class _NestedWalkAdapter:
         self.memory_accesses = nested.memory_accesses
         self.physical_base = nested.host_physical_base
         self.page_size = nested.page_size
-        self.frontend_latency = 0
-        self.backend_latency = nested.latency
+        self.frontend_latency = nested.guest_latency
+        self.backend_latency = nested.host_latency
 
 
 class MMU:
@@ -119,6 +126,13 @@ class MMU:
         self.ptw_latency_stats = RunningStats()
         self.translation_latency_stats = RunningStats()
         self.fault_latency_stats = RunningStats()
+        #: 2-D walk attribution (virtualised mode): the guest-dimension and
+        #: host-dimension shares of every nested walk's latency, so
+        #: per-backend parity can tell a slow guest table from a slow host
+        #: (extended) table.  Both engines feed these through the same
+        #: ``_walk`` call, so they are engine-invariant by construction.
+        self.guest_ptw_latency_stats = RunningStats()
+        self.host_ptw_latency_stats = RunningStats()
 
         self.pid: int = 0
         self.page_table: Optional[PageTableBase] = None
@@ -172,6 +186,10 @@ class MMU:
         self._vpn_tlb_version = -1
         if flush_tlbs:
             self.tlbs.flush()
+            # Without VPID/EPT tagging a context switch also loses the
+            # combined (guest-virtual -> host-physical) translations.
+            if self.nested_unit is not None:
+                self.nested_unit.flush()
 
     def migrate_in(self, pid: int, page_table: PageTableBase) -> None:
         """Context-switch for a process migrating onto this core.
@@ -206,6 +224,29 @@ class MMU:
         if pid != self.pid:
             return
         self.tlbs.invalidate(virtual_address)
+        if self.nested_unit is not None:
+            # A guest-side remap also kills the combined translation the
+            # nested TLB caches for this guest-virtual page.
+            self.nested_unit.invalidate(virtual_address)
+
+    def invalidate_nested_translations(self) -> None:
+        """Host-side (EPT) remap shootdown for this core.
+
+        Called when the hypervisor remaps a frame backing guest RAM (host
+        swap-out, restrictive-mapping eviction, host khugepaged collapse):
+        the guest-physical -> host-physical dimension changed without naming
+        any guest-virtual address, so every *combined* translation this core
+        holds is suspect — the nested TLB, the L1/L2 TLBs (filled with
+        host-physical bases by nested walks) and, through the TLB version
+        bump, the VPN translation cache are all dropped, exactly as an
+        INVEPT-triggered combined-mapping flush behaves on real hardware.
+        No-op on cores not running a virtualised context.
+        """
+        if self.nested_unit is None:
+            return
+        self.nested_unit.flush()
+        self.tlbs.flush()
+        self.counters.add("nested_shootdowns")
 
     def set_nested_unit(self, nested_unit: Optional[NestedTranslationUnit]) -> None:
         """Enable two-dimensional translation through ``nested_unit``."""
@@ -448,6 +489,10 @@ class MMU:
             self._c_page_walks[0] += 1
             self._c_ptw_memory_accesses[0] += nested.memory_accesses
             self.ptw_latency_stats.add(nested.latency)
+            # Attribute the two dimensions separately (a nested-TLB hit
+            # walked neither table, so both shares are zero).
+            self.guest_ptw_latency_stats.add(nested.guest_latency)
+            self.host_ptw_latency_stats.add(nested.host_latency)
             return _NestedWalkAdapter(nested)
         walk = self.page_table.walk(virtual_address, self.memory)
         self._c_page_walks[0] += 1
@@ -563,7 +608,7 @@ class MMU:
 
     def stats(self) -> Dict[str, object]:
         """Counter snapshot plus latency summaries."""
-        return {
+        stats: Dict[str, object] = {
             "counters": self.counters.as_dict(),
             "tlbs": self.tlbs.stats(),
             "avg_ptw_latency": self.average_ptw_latency(),
@@ -572,3 +617,13 @@ class MMU:
             "page_table": self.page_table.stats() if self.page_table is not None else {},
             "fast_path": self.fast_path_stats(),
         }
+        if self.nested_unit is not None:
+            # 2-D attribution: which dimension of the nested walk cost what.
+            stats["nested"] = {
+                "unit": self.nested_unit.stats(),
+                "total_guest_ptw_latency": self.guest_ptw_latency_stats.total,
+                "total_host_ptw_latency": self.host_ptw_latency_stats.total,
+                "avg_guest_ptw_latency": self.guest_ptw_latency_stats.mean,
+                "avg_host_ptw_latency": self.host_ptw_latency_stats.mean,
+            }
+        return stats

@@ -10,6 +10,23 @@ guest-virtual -> host-physical translations make most accesses cheap.
 Virtuoso supports this by spawning two MimicOS instances — one for the guest
 OS and one acting as the hypervisor — and coupling their page tables through
 this unit (see :mod:`repro.mimicos.hypervisor`).
+
+Invalidation
+------------
+
+A cached guest-virtual -> host-physical entry goes stale through *either*
+dimension:
+
+* guest-side remaps (guest khugepaged collapse, guest reclaim, munmap)
+  change the guest-virtual -> guest-physical mapping — the engine's
+  :meth:`~repro.mmu.mmu.MMU.invalidate_translation` forwards the guest
+  kernel's TLB shootdown to :meth:`NestedTranslationUnit.invalidate`;
+* host-side remaps (hypervisor swap-out of guest-RAM backing, restrictive-
+  mapping evictions, host khugepaged collapse) change the guest-physical ->
+  host-physical mapping without naming any guest-virtual address — those
+  broadcast :meth:`NestedTranslationUnit.flush`, the INVEPT-style
+  version-based whole-unit invalidation (real hardware likewise flushes all
+  combined mappings on an EPT modification).
 """
 
 from __future__ import annotations
@@ -33,6 +50,10 @@ class NestedWalkResult:
     page_size: int = PAGE_SIZE_4K
     guest_fault: bool = False
     host_fault: bool = False
+    #: The guest-dimension share of ``latency`` (the guest page-table walk).
+    guest_latency: int = 0
+    #: The host-dimension share of ``latency`` (the repeated host walks).
+    host_latency: int = 0
 
 
 class _NestedTLB:
@@ -44,6 +65,12 @@ class _NestedTLB:
         self._store: Dict[int, Tuple[int, int]] = {}
         self._lru: Dict[int, int] = {}
         self._clock = 0
+        #: Bumped whenever the cached contents change (fill, invalidate,
+        #: flush), mirroring :class:`repro.mmu.tlb.TLB.version`.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
 
     def lookup(self, guest_virtual: int) -> Optional[Tuple[int, int]]:
         self._clock += 1
@@ -55,6 +82,7 @@ class _NestedTLB:
 
     def fill(self, guest_virtual: int, host_physical: int, page_size: int) -> None:
         self._clock += 1
+        self.version += 1
         vpn = guest_virtual // PAGE_SIZE_4K
         if vpn not in self._store and len(self._store) >= self.entries:
             victim = min(self._lru, key=self._lru.get)
@@ -62,6 +90,24 @@ class _NestedTLB:
             self._lru.pop(victim, None)
         self._store[vpn] = (host_physical, page_size)
         self._lru[vpn] = self._clock
+
+    def invalidate(self, guest_virtual: int) -> bool:
+        """Drop the entry filled for ``guest_virtual``; True if one existed."""
+        vpn = guest_virtual // PAGE_SIZE_4K
+        if self._store.pop(vpn, None) is None:
+            return False
+        self._lru.pop(vpn, None)
+        self.version += 1
+        return True
+
+    def flush(self) -> bool:
+        """Drop every entry (the INVEPT analogue); True if any existed."""
+        if not self._store:
+            return False
+        self._store.clear()
+        self._lru.clear()
+        self.version += 1
+        return True
 
 
 class NestedTranslationUnit:
@@ -92,12 +138,13 @@ class NestedTranslationUnit:
         # which keeps the 2-D cost profile (O(n*m) accesses) without walking
         # the host table n times functionally.
         guest_result = self.guest_page_table.walk(guest_virtual, memory)
-        latency = guest_result.latency
+        guest_latency = guest_result.latency
+        latency = guest_latency
         accesses = guest_result.memory_accesses
         if not guest_result.found:
             self.counters.add("guest_faults")
             return NestedWalkResult(found=False, latency=latency, memory_accesses=accesses,
-                                    guest_fault=True)
+                                    guest_fault=True, guest_latency=guest_latency)
 
         guest_physical = guest_result.physical_base + (guest_virtual % guest_result.page_size)
 
@@ -119,7 +166,8 @@ class NestedTranslationUnit:
         if host_result is None or not host_result.found:
             self.counters.add("host_faults")
             return NestedWalkResult(found=False, latency=latency, memory_accesses=accesses,
-                                    host_fault=True)
+                                    host_fault=True, guest_latency=guest_latency,
+                                    host_latency=host_latency)
 
         host_physical = (host_result.physical_base
                          + (guest_physical % host_result.page_size))
@@ -129,7 +177,21 @@ class NestedTranslationUnit:
         self.counters.add("nested_walk_hits")
         return NestedWalkResult(found=True, latency=latency, memory_accesses=accesses,
                                 host_physical_base=host_physical - (guest_virtual % page_size),
-                                page_size=page_size)
+                                page_size=page_size, guest_latency=guest_latency,
+                                host_latency=host_latency)
+
+    # ------------------------------------------------------------------ #
+    # Invalidation (see the module docstring for who calls what)
+    # ------------------------------------------------------------------ #
+    def invalidate(self, guest_virtual: int) -> None:
+        """Guest-side shootdown: drop the cached entry for ``guest_virtual``."""
+        if self.nested_tlb.invalidate(guest_virtual):
+            self.counters.add("nested_tlb_invalidations")
+
+    def flush(self) -> None:
+        """Host-side (EPT) remap: drop every cached combined translation."""
+        if self.nested_tlb.flush():
+            self.counters.add("nested_tlb_flushes")
 
     def stats(self) -> Dict[str, int]:
         """Raw counter snapshot."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import PageTableConfig
 from repro.pagetables.base import PageTableBase, _BumpFrameAllocator
@@ -88,26 +88,38 @@ def _build_vbi(config, frame_allocator, physical_memory_bytes, restseg_base_addr
 #: The dispatch table is the single registry: the parity matrix, the zoo
 #: smoke tests and the per-backend perf bench all iterate
 #: :data:`REGISTERED_KINDS`, which is derived from it — so a design added
-#: here is automatically covered by all three.
-_BUILDERS: Dict[str, Callable[..., PageTableBase]] = {
-    "radix": _build_radix,
-    "ech": _build_ech,
-    "hdc": _build_hdc,
-    "ht": _build_ht,
-    "utopia": _build_utopia,
-    "rmm": _build_rmm,
-    "midgard": _build_midgard,
-    "direct_segment": _build_direct_segment,
-    "vbi": _build_vbi,
+#: here (builder + table class, the class for capability queries without
+#: construction) is automatically covered by all three.
+_REGISTRY: Dict[str, Tuple[Callable[..., PageTableBase], type]] = {
+    "radix": (_build_radix, RadixPageTable),
+    "ech": (_build_ech, ElasticCuckooPageTable),
+    "hdc": (_build_hdc, OpenAddressingHashPageTable),
+    "ht": (_build_ht, ChainedHashPageTable),
+    "utopia": (_build_utopia, UtopiaTranslation),
+    "rmm": (_build_rmm, RangeMemoryMapping),
+    "midgard": (_build_midgard, MidgardTranslation),
+    "direct_segment": (_build_direct_segment, DirectSegmentTable),
+    "vbi": (_build_vbi, VirtualBlockInterface),
 }
 
 #: Every translation scheme the factory can build (the "page-table zoo").
-REGISTERED_KINDS = tuple(_BUILDERS)
+REGISTERED_KINDS = tuple(_REGISTRY)
 
 
 def registered_kinds() -> List[str]:
     """Names of every registered page-table design."""
     return list(REGISTERED_KINDS)
+
+
+def nested_capable_kinds() -> List[str]:
+    """Designs usable as a dimension of a nested (2-D) virtualised walk.
+
+    Intermediate-address schemes (Midgard, VBI) replace the TLBs and are
+    translated on the intermediate path before the MMU ever reaches the
+    nested walker, so they cannot serve as a guest or host dimension.
+    """
+    return [kind for kind, (_, table_class) in _REGISTRY.items()
+            if not table_class.replaces_tlbs]
 
 
 def build_page_table(config: PageTableConfig,
@@ -126,9 +138,10 @@ def build_page_table(config: PageTableConfig,
         # from a region guaranteed not to alias simulated physical memory.
         frame_allocator = _BumpFrameAllocator(
             physical_memory_bytes=physical_memory_bytes)
-    builder = _BUILDERS.get(config.kind)
-    if builder is None:
+    entry = _REGISTRY.get(config.kind)
+    if entry is None:
         raise ValueError(f"unknown page table kind: {config.kind!r}")
+    builder, _ = entry
     return builder(config, frame_allocator, physical_memory_bytes,
                    restseg_base_address)
 

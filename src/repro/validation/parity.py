@@ -14,6 +14,11 @@ enumerates a configuration lattice —
 * core count (1 and 2 — the multi-core orchestrator has its own
   interleaving and kernel-stream routing),
 * OS feature toggles (THP on/off, swap pressure on/off),
+* a virtualization axis: native points plus virtualised points over a
+  guest-backend x host-backend subset (guest MimicOS over a hypervisor
+  MimicOS, 2-D translation with a nested TLB, two-level shootdowns —
+  including host-swap-pressure points where hypervisor reclaim remaps the
+  frames backing guest RAM),
 
 — runs each point once per engine under identical seeds, and diffs the full
 statistics report field by field.  A mismatch produces a structured
@@ -44,10 +49,15 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.addresses import MB
-from repro.common.config import PageTableConfig, SystemConfig, scaled_system_config
+from repro.common.config import (
+    PageTableConfig,
+    SystemConfig,
+    VirtualizationConfig,
+    scaled_system_config,
+)
 from repro.common.stats import LatencyDistribution
 from repro.core.report import SimulationReport
-from repro.pagetables.factory import registered_kinds
+from repro.pagetables.factory import nested_capable_kinds, registered_kinds
 
 #: Keys whose values legitimately differ between engines (host-side timing
 #: and fast-path diagnostics) and are therefore excluded from the diff.
@@ -64,6 +74,14 @@ WORKLOAD_FAMILIES: Dict[str, Tuple[str, Dict[str, object]]] = {
     "gups": ("RND", {"footprint_bytes": 2 * MB, "memory_operations": 500,
                      "prefault": True, "seed": 3}),
     "llm": ("Bagel", {"scale": 0.04, "seed": 9}),
+    # Guest-collapse family (virtualised points): small-arena layout forces
+    # 4 KB guest faults, so guest khugepaged collapses the touched 2 MB
+    # region *mid-run* and the hot phase then re-touches it — the sequence
+    # that turns a missing nested-TLB invalidation into stale 4 KB combined
+    # translations shadowed differently by the two engines.
+    "guestmix": ("GuestMix", {"footprint_bytes": 4 * MB, "vma_bytes": 256 << 10,
+                              "interleave_regions": 2, "mix_per_cold": 2,
+                              "hot_operations": 1500, "seed": 7}),
 }
 
 #: Multi-process scenario (and its kwargs) used for the cores=2 axis.
@@ -71,22 +89,40 @@ MULTICORE_SCENARIO = ("contention_pair",
                       {"footprint_bytes": 2 * MB, "memory_operations": 500,
                        "seed": 3})
 
+#: Guest scenario used by the virtualised multi-core axis.
+VIRTUALIZED_MULTICORE_SCENARIO = ("virtualized_guests",
+                                  {"count": 2, "footprint_bytes": 2 * MB,
+                                   "hot_operations": 400, "seed": 3})
+
 
 @dataclass(frozen=True)
 class ParityPoint:
-    """One lattice configuration, compared across both engines."""
+    """One lattice configuration, compared across both engines.
+
+    ``page_table_kind`` is the native design — or, on virtualised points,
+    the *host* (extended/nested) design backing guest RAM, with
+    ``guest_kind`` naming the design the guest kernel gives its processes.
+    ``swap_pressure`` on a virtualised point squeezes the *hypervisor*, so
+    host reclaim remaps the frames backing guest RAM mid-run — the path the
+    two-level shootdown wiring exists for.
+    """
 
     page_table_kind: str
     family: str
     cores: int = 1
     thp: bool = True
     swap_pressure: bool = False
+    virtualized: bool = False
+    guest_kind: str = "radix"
 
     @property
     def name(self) -> str:
-        return (f"{self.page_table_kind}/{self.family}/c{self.cores}"
+        name = (f"{self.page_table_kind}/{self.family}/c{self.cores}"
                 f"/thp={'on' if self.thp else 'off'}"
                 f"/swap={'on' if self.swap_pressure else 'off'}")
+        if self.virtualized:
+            name += f"/virt=guest:{self.guest_kind}"
+        return name
 
 
 @dataclass
@@ -112,11 +148,14 @@ class DivergenceRecord:
 # Lattice enumeration
 # --------------------------------------------------------------------- #
 def full_lattice() -> List[ParityPoint]:
-    """Every lattice point: kind x family x cores x THP x swap pressure.
+    """Every lattice point: kind x family x cores x THP x swap x virt.
 
     The two-core axis runs the multi-process contention scenario (one
     runnable process per core); swap pressure is exercised on the
     single-core axis, where reclaim ordering is deterministic per point.
+    The virtualization axis (see :func:`virtualized_lattice`) adds points
+    running the workload inside a guest VM over a guest x host backend
+    subset.
     """
     points: List[ParityPoint] = []
     for kind in registered_kinds():
@@ -127,27 +166,66 @@ def full_lattice() -> List[ParityPoint]:
                                               swap_pressure=swap_pressure))
         for thp in (True, False):
             points.append(ParityPoint(kind, "multicore", cores=2, thp=thp))
+    points.extend(virtualized_lattice())
     return points
+
+
+def virtualized_lattice() -> List[ParityPoint]:
+    """The virtualization slice: guest-backend x host-backend subset.
+
+    Only walk-capable designs participate (intermediate-address schemes
+    never reach the nested walker).  The subset is two sweeps through the
+    radix anchor — guest radix over every capable host design, and every
+    capable guest design over a radix host — plus feature-toggle points on
+    the radix/radix anchor: guest THP off, *host* swap pressure (hypervisor
+    reclaim remaps the frames backing guest RAM mid-run, exercising the
+    two-level shootdown), and a two-core guest co-run.
+    """
+    points: List[ParityPoint] = []
+    for kind in nested_capable_kinds():
+        points.append(ParityPoint(kind, "gups", virtualized=True, guest_kind="radix"))
+        points.append(ParityPoint("radix", "guestmix", virtualized=True,
+                                  guest_kind=kind))
+    points.append(ParityPoint("radix", "gups", thp=False, virtualized=True))
+    points.append(ParityPoint("radix", "llm", swap_pressure=True, virtualized=True))
+    points.append(ParityPoint("radix", "guestmix", swap_pressure=True,
+                              virtualized=True))
+    points.append(ParityPoint("radix", "multicore", cores=2, virtualized=True))
+    return points
+
+
+#: Minimum virtualised points every sampled subset must carry.
+MIN_VIRTUALIZED_SAMPLE = 4
 
 
 def sample_lattice(size: int = 40, seed: int = 2025) -> List[ParityPoint]:
     """A deterministic ``size``-point subset covering every page-table kind.
 
     The sample is seeded (never Python's salted ``hash``), shuffled, and
-    then selected so that each registered design appears at least once
+    then selected so that each registered design appears at least once and
+    at least :data:`MIN_VIRTUALIZED_SAMPLE` virtualised points are included
     before the remainder fills up in shuffled order — the tier-1 sampler
-    must never silently drop a backend from coverage, so ``size`` is raised
-    to the number of registered designs when asked for less.
+    must never silently drop a backend (or the virtualization axis) from
+    coverage, so ``size`` is raised to the coverage floor when asked for
+    less.
     """
     points = full_lattice()
     rng = random.Random(seed)
     rng.shuffle(points)
     selected: List[ParityPoint] = []
     covered_kinds = set()
+    virtualized_count = 0
     for point in points:
         if point.page_table_kind not in covered_kinds:
             covered_kinds.add(point.page_table_kind)
             selected.append(point)
+            virtualized_count += point.virtualized
+    for point in points:
+        if virtualized_count >= MIN_VIRTUALIZED_SAMPLE:
+            break
+        if point.virtualized and point not in selected:
+            selected.append(point)
+            virtualized_count += 1
     size = max(size, len(selected))
     for point in points:
         if len(selected) >= size:
@@ -171,18 +249,41 @@ def build_config(point: ParityPoint, engine: str) -> SystemConfig:
     Swap pressure is created the way the kernel actually meets it: a small
     physical memory with a low reclaim threshold, so kswapd-style swap-outs
     fire during the run instead of requiring a footprint too large for a
-    sub-second simulation.
+    sub-second simulation.  On virtualised points the pressure squeezes the
+    *hypervisor* (the system MimicOS config), so host reclaim swaps out the
+    frames backing guest RAM — guest-side THP stays controlled through the
+    virtualization config.
     """
     config = scaled_system_config(
         name=f"parity-{point.name}",
         physical_memory_bytes=96 * MB if point.swap_pressure else 192 * MB,
-        thp_policy="linux" if point.thp else "never",
+        # On virtualised points the host THP policy stays on (guest-RAM
+        # backing realistically uses huge frames); the point's THP toggle
+        # governs the *guest* kernel instead.
+        thp_policy="linux" if (point.thp or point.virtualized) else "never",
         fragmentation_target=1.0)
     config = config.with_page_table(PageTableConfig(kind=point.page_table_kind))
     if point.swap_pressure:
+        # Virtualised points lower the threshold further: only the touched
+        # guest pages occupy host memory (lazy backing), so the reclaim
+        # trip-wire must sit beneath that smaller footprint for hypervisor
+        # swap-outs of guest-RAM backing to actually fire.
         config = config.with_mimicos(replace(config.mimicos,
-                                             swap_threshold=0.30,
+                                             swap_threshold=0.10 if point.virtualized
+                                             else 0.30,
                                              swap_size_bytes=32 * MB))
+    if point.virtualized:
+        config = config.with_virtualization(VirtualizationConfig(
+            enabled=True,
+            guest_memory_bytes=128 * MB,
+            guest_page_table=PageTableConfig(kind=point.guest_kind),
+            guest_thp_policy="linux" if point.thp else "never",
+            # The nested TLB must out-reach the (scaled-down) TLB hierarchy
+            # to serve re-walks after L2-TLB evictions — the role the EPT
+            # paging-structure caches play on real cores.  It is also what
+            # makes a *stale* nested entry reachable at all, which the
+            # nested-invalidation sensitivity test depends on.
+            nested_tlb_entries=1024))
     return config.with_simulation(replace(config.simulation, engine=engine))
 
 
@@ -197,7 +298,8 @@ def _run_engine(point: ParityPoint, engine: str) -> SimulationReport:
     config = build_config(point, engine)
     seed = point_seed(point)
     if point.cores > 1:
-        scenario, kwargs = MULTICORE_SCENARIO
+        scenario, kwargs = (VIRTUALIZED_MULTICORE_SCENARIO if point.virtualized
+                            else MULTICORE_SCENARIO)
         system = MultiCoreVirtuoso(config, num_cores=point.cores, seed=seed)
         return system.run(build_multiprocess_scenario(scenario, **kwargs)).merged
     workload_name, kwargs = WORKLOAD_FAMILIES[point.family]
@@ -310,6 +412,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Differential batch-vs-legacy parity across the page-table zoo")
     parser.add_argument("--full", action="store_true",
                         help="run the full lattice (default: the tier-1 sample)")
+    parser.add_argument("--virtualized", action="store_true",
+                        help="run only the virtualization slice of the lattice "
+                             "(guest x host backend subset, two-level shootdowns)")
     parser.add_argument("--sample", type=int, default=40, metavar="N",
                         help="sample size when not running --full (default 40; "
                              "raised to the registered-design count so every "
@@ -322,15 +427,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the full summary as JSON to PATH")
     args = parser.parse_args(argv)
 
-    points = full_lattice() if args.full else sample_lattice(args.sample, args.seed)
+    if args.virtualized:
+        points = virtualized_lattice()
+        scope = "virtualized slice"
+    elif args.full:
+        points = full_lattice()
+        scope = "full lattice"
+    else:
+        points = sample_lattice(args.sample, args.seed)
+        scope = f"sample of {len(points)}"
     summary = run_matrix(points, workers=args.workers)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")
     print(f"parity matrix: {summary['identical']}/{summary['points']} points "
-          f"identical in {summary['wall_seconds']:.1f}s "
-          f"({'full lattice' if args.full else f'sample of {len(points)}'})")
+          f"identical in {summary['wall_seconds']:.1f}s ({scope})")
     for raw in summary["divergences"]:
         print(f"  DIVERGENCE {DivergenceRecord(**raw)}")
     return 1 if summary["divergences"] else 0

@@ -33,10 +33,12 @@ from repro.workloads.llm import LLM_PROFILES, LLMInferenceWorkload
 from repro.workloads.micro import IntensitySweepWorkload, KernelFractionMicrobenchmark
 from repro.workloads.multiproc import (
     MULTIPROCESS_SCENARIOS,
+    GuestMixWorkload,
     build_multiprocess_scenario,
     contention_pair,
     fault_storm,
     streaming_mix,
+    virtualized_guests,
 )
 from repro.workloads.registry import (
     LONG_RUNNING_WORKLOADS,
@@ -64,6 +66,8 @@ __all__ = [
     "contention_pair",
     "fault_storm",
     "streaming_mix",
+    "virtualized_guests",
+    "GuestMixWorkload",
     "Workload",
     "StreamBuilder",
     "GraphWorkload",

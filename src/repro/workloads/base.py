@@ -287,6 +287,94 @@ def strided_addresses(start: int, count: int, stride: int) -> Iterator[int]:
         yield start + index * stride
 
 
+def cold_hot_addresses(start: int, cold_touches: int, cold_stride: int,
+                       hot_operations: int, hot_span: int,
+                       rng: DeterministicRNG, interleave_regions: int = 1,
+                       region_bytes: int = 0, mix_per_cold: int = 0) -> List[int]:
+    """A cold fault phase followed by a hot random re-access phase, as a list.
+
+    The signature access pattern of a freshly booted guest: first touch
+    ``cold_touches`` pages stride-by-stride (every touch faults, so in a
+    virtualised system each drives the guest handler *and* usually a
+    hypervisor backing fault), then perform ``hot_operations`` uniform random
+    accesses over the first ``hot_span`` bytes of the touched region (warm
+    2-D translation: nested-TLB and VPN-cache territory).
+
+    ``interleave_regions`` > 1 deals the cold touches round-robin across
+    that many ``region_bytes``-sized regions (touch *i* lands in region
+    ``i % N``), so concurrently-growing arenas reach khugepaged's collapse
+    threshold while faults are still arriving *from the other regions* —
+    the window in which a collapsed region's old translations are stale but
+    no fresh walk has re-covered it yet.  ``mix_per_cold`` inserts that many
+    random re-touches of already-touched offsets after every cold touch,
+    precisely to walk into such windows.
+
+    numpy builds the columns wholesale when vectorisation is enabled; all
+    random draws go through the bulk RNG helpers, which are stream-exact
+    with scalar draws — both paths emit the identical sequence.
+    """
+    region_stride = region_bytes if interleave_regions > 1 else 0
+
+    def cold_offset_arrays():
+        if _VECTORIZE:
+            index = _np.arange(cold_touches, dtype=_np.int64)
+            return ((index % interleave_regions) * region_stride
+                    + (index // interleave_regions) * cold_stride)
+        return [(index % interleave_regions) * region_stride
+                + (index // interleave_regions) * cold_stride
+                for index in range(cold_touches)]
+
+    cold_offsets = cold_offset_arrays()
+    if mix_per_cold > 0 and cold_touches > 0:
+        # After cold touch i, re-touch mix_per_cold random already-touched
+        # offsets (uniform over touches 0..i).  One float draw per re-touch.
+        draws = rng.random_list(cold_touches * mix_per_cold)
+        if _VECTORIZE:
+            reach = _np.repeat(_np.arange(1, cold_touches + 1, dtype=_np.int64),
+                               mix_per_cold)
+            picks = (_np.asarray(draws) * reach).astype(_np.int64)
+            columns = _np.empty((cold_touches, 1 + mix_per_cold), dtype=_np.int64)
+            columns[:, 0] = cold_offsets
+            columns[:, 1:] = _np.asarray(cold_offsets)[picks].reshape(
+                cold_touches, mix_per_cold)
+            cold = (start + columns.reshape(-1)).tolist()
+        else:
+            cold = []
+            cursor = 0
+            for index in range(cold_touches):
+                cold.append(start + cold_offsets[index])
+                for _ in range(mix_per_cold):
+                    pick = int(draws[cursor] * (index + 1))
+                    cursor += 1
+                    cold.append(start + cold_offsets[pick])
+    else:
+        if _VECTORIZE:
+            cold = (start + cold_offsets).tolist()
+        else:
+            cold = [start + offset for offset in cold_offsets]
+    hot = [start + draw
+           for draw in rng.randint_list(0, max(0, hot_span - 64), hot_operations)]
+    return cold + hot
+
+
+def span_mapped_addresses(offsets: List[int], span_starts: List[int],
+                          span_bytes: int) -> List[int]:
+    """Map linear footprint offsets onto discontiguous equal-size spans.
+
+    Used when a workload's footprint is split across several VMAs (arena
+    layouts with guard gaps between them): offset ``o`` lands at byte
+    ``o % span_bytes`` of span ``o // span_bytes``.  numpy fancy-indexes the
+    whole column when vectorisation is enabled; the fallback emits the
+    identical list.
+    """
+    if _VECTORIZE:
+        off = _np.asarray(offsets, dtype=_np.int64)
+        starts = _np.asarray(span_starts, dtype=_np.int64)
+        return (starts[off // span_bytes] + off % span_bytes).tolist()
+    return [span_starts[offset // span_bytes] + offset % span_bytes
+            for offset in offsets]
+
+
 def page_touch_addresses(vma: VirtualMemoryArea, page_size: int = PAGE_SIZE_4K,
                          touches_per_page: int = 1) -> Iterator[int]:
     """Touch every page of a VMA (the allocation-dominated access pattern)."""

@@ -26,6 +26,7 @@ from repro.workloads.image import (
     MatrixTranspose3DWorkload,
 )
 from repro.workloads.llm import LLM_PROFILES, LLMInferenceWorkload
+from repro.workloads.multiproc import GuestMixWorkload
 
 #: Long-running (translation-bound) workload names, as used in Figs. 8/10/13-15.
 LONG_RUNNING_WORKLOADS: List[str] = ["BC", "BFS", "CC", "KC", "GC", "PR", "SSSP", "TC",
@@ -47,6 +48,7 @@ _FACTORIES: Dict[str, Callable[..., Workload]] = {
     "3D-Transp": MatrixTranspose3DWorkload,
     "Hadamard": HadamardWorkload,
     "2D-Sum": MatrixSum2DWorkload,
+    "GuestMix": GuestMixWorkload,
 }
 for _kernel in GRAPH_KERNELS:
     _FACTORIES[_kernel] = (lambda kernel_name: lambda **kwargs: GraphWorkload(kernel_name, **kwargs))(_kernel)

@@ -48,6 +48,7 @@ from repro.pagetables.radix import RadixPageTable
 from repro.common.config import PageTableConfig
 from repro.workloads import (
     GUPSWorkload,
+    GuestMixWorkload,
     IntensitySweepWorkload,
     KernelFractionMicrobenchmark,
     LLMInferenceWorkload,
@@ -57,6 +58,14 @@ from repro.workloads import (
 )
 from repro.workloads.base import numpy_available, set_vectorization
 from tests.conftest import tiny_mimicos_config, tiny_system_config
+
+
+def _guest_mix():
+    """The virtualized-guest generator: arena layout + interleaved cold
+    regions + mixed re-touches, all numpy-assembled when available."""
+    return GuestMixWorkload(footprint_bytes=2 * MB, vma_bytes=256 << 10,
+                            interleave_regions=2, mix_per_cold=2,
+                            hot_operations=400, seed=7)
 
 REPORT_FIELDS = [
     "instructions", "kernel_instructions", "cycles", "ipc",
@@ -98,6 +107,7 @@ class TestBatchStreamsMatchInstructionStreams:
         lambda: IntensitySweepWorkload(0.6, memory_operations=400, prefault=False, seed=6),
         lambda: KernelFractionMicrobenchmark(0.5, memory_operations=400, seed=8),
         lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+        _guest_mix,
     ]
 
     @pytest.mark.parametrize("factory", WORKLOADS)
@@ -127,6 +137,7 @@ class TestVectorizedGenerationMatchesFallback:
         lambda: IntensitySweepWorkload(0.6, memory_operations=400, prefault=False, seed=6),
         lambda: KernelFractionMicrobenchmark(0.5, memory_operations=400, seed=8),
         lambda: LLMInferenceWorkload("Bagel", scale=0.1, seed=9),
+        _guest_mix,
     ]
 
     @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")

@@ -27,12 +27,14 @@ from repro.mimicos.kernel import MimicOS
 from repro.pagetables.base import _BumpFrameAllocator
 from repro.pagetables.factory import build_page_table, registered_kinds
 from repro.validation.parity import (
+    MIN_VIRTUALIZED_SAMPLE,
     DivergenceRecord,
     ParityPoint,
     divergence_of,
     full_lattice,
     run_parity_point,
     sample_lattice,
+    virtualized_lattice,
 )
 from tests.conftest import FlatMemory, tiny_mimicos_config, tiny_system_config
 
@@ -57,6 +59,34 @@ class TestLattice:
         assert {p.page_table_kind for p in first} == set(registered_kinds())
         # A different seed picks a different subset (it really is sampling).
         assert sample_lattice(SAMPLE_SIZE, seed=1) != first
+
+    def test_virtualized_axis_covers_guest_and_host_backends(self):
+        from repro.pagetables.factory import nested_capable_kinds
+
+        points = virtualized_lattice()
+        assert all(point.virtualized for point in points)
+        capable = set(nested_capable_kinds())
+        # Host-backend sweep (guest radix over every walk-capable host) and
+        # guest-backend sweep (every walk-capable guest over a radix host).
+        assert {p.page_table_kind for p in points} == capable
+        assert {p.guest_kind for p in points} == capable
+        # Intermediate-address schemes never reach the nested walker.
+        assert "midgard" not in capable and "vbi" not in capable
+        # Feature toggles: guest THP off, host swap pressure, multi-core.
+        assert any(not p.thp for p in points)
+        assert any(p.swap_pressure for p in points)
+        assert any(p.cores > 1 for p in points)
+        # The virtualization slice is part of the full lattice.
+        full = full_lattice()
+        assert all(point in full for point in points)
+
+    def test_sample_always_includes_virtualized_points(self):
+        for seed in (2025, 1, 77):
+            sample = sample_lattice(SAMPLE_SIZE, seed=seed)
+            virtualized = [p for p in sample if p.virtualized]
+            assert len(virtualized) >= MIN_VIRTUALIZED_SAMPLE, (
+                f"seed {seed}: sampled only {len(virtualized)} virtualized "
+                f"points, need >= {MIN_VIRTUALIZED_SAMPLE}")
 
 
 class TestSampledParityMatrix:
@@ -87,6 +117,29 @@ class TestHarnessSensitivity:
         assert record.point == "radix/llm/c1/thp=on/swap=off"
         assert record.legacy_value != record.batch_value
         assert "diverged" in str(record)
+
+    def test_detects_divergence_when_nested_invalidation_disabled(self, monkeypatch):
+        """Re-create the pre-fix nested path (stale nested-TLB entries
+        survive guest collapses and hypervisor remaps) and demand the
+        virtualised guest-collapse point flags the engine divergence: a
+        stale nested entry re-fills a 4 KB combined translation that the
+        legacy TLB probe order and the batch VPN cache's whole-region 2 MB
+        entries then shadow differently."""
+        from repro.mmu.mmu import MMU
+        from repro.mmu.nested import NestedTranslationUnit
+
+        monkeypatch.setattr(NestedTranslationUnit, "invalidate",
+                            lambda self, guest_virtual: None)
+        monkeypatch.setattr(NestedTranslationUnit, "flush", lambda self: None)
+        monkeypatch.setattr(MMU, "invalidate_nested_translations",
+                            lambda self: None)
+        point = ParityPoint("radix", "guestmix", virtualized=True)
+        digest = run_parity_point(point)
+        record = divergence_of(digest)
+        assert record is not None, (
+            "parity harness failed to detect the stale nested-TLB divergence")
+        assert record.point == point.name
+        assert record.legacy_value != record.batch_value
 
 
 def _swap_out_page(system: Virtuoso, pid: int, virtual_base: int) -> None:

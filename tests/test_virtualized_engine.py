@@ -1,0 +1,225 @@
+"""End-to-end tests for virtualized execution as a first-class engine mode.
+
+Four families:
+
+* construction and coupling — the virtualized system wires a guest MimicOS
+  over the hypervisor, routes application faults through the guest and
+  guest-RAM backing faults through the hypervisor, and injects *both*
+  kernels' instruction streams into the faulting core;
+* engine invariance — virtualized runs are bit-identical between the batch
+  and legacy engines, on one core and on the multi-core orchestrator;
+* hypervisor-remap staleness regression — after the hypervisor swaps out a
+  frame backing guest RAM, the next guest access must fault and re-walk
+  (host swap-in) identically on both engines instead of translating through
+  the stale nested-TLB / TLB / VPN-cache entries.  This test fails if the
+  two-level shootdown wiring (``MMU.invalidate_nested_translations`` /
+  ``NestedTranslationUnit.invalidate``) is removed;
+* 2-D accounting — the guest and host walk dimensions are attributed
+  separately (``_NestedWalkAdapter`` no longer reports the combined 2-D
+  latency as backend time).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.addresses import MB, PAGE_SIZE_4K, align_down, page_number
+from repro.common.config import VirtualizationConfig
+from repro.core.multicore import MultiCoreVirtuoso
+from repro.core.virtuoso import Virtuoso
+from repro.mmu.mmu import MMU
+from repro.validation.parity import diff_stats, flatten_stats
+from repro.workloads.multiproc import GuestMixWorkload, virtualized_guests
+from tests.conftest import tiny_system_config
+
+
+def virtualized_config(engine: str = "batch", **virt_overrides):
+    defaults = dict(enabled=True, guest_memory_bytes=128 * MB,
+                    nested_tlb_entries=256)
+    defaults.update(virt_overrides)
+    config = tiny_system_config()
+    config = config.with_virtualization(VirtualizationConfig(**defaults))
+    return config.with_simulation(replace(config.simulation, engine=engine))
+
+
+class TestVirtualizedConstruction:
+    def test_two_kernels_and_nested_unit_wired(self):
+        system = Virtuoso(virtualized_config(), seed=7)
+        assert system.vm is not None
+        assert system.kernel is system.vm.guest
+        assert system.hypervisor is system.vm.host
+        process = system.create_process("guest-app")
+        assert process.pid in system.vm.guest.processes
+        assert system.mmu.nested_unit is not None
+        assert system.mmu.extensions.nested_translation
+
+    def test_virtualization_requires_imitation_mode(self):
+        config = virtualized_config()
+        config = config.with_simulation(replace(config.simulation,
+                                                os_mode="emulation"))
+        with pytest.raises(ValueError, match="imitation"):
+            Virtuoso(config, seed=7)
+
+    def test_both_kernel_streams_injected_into_core(self):
+        system = Virtuoso(virtualized_config(), seed=7)
+        report = system.run(GuestMixWorkload(footprint_bytes=1 * MB,
+                                             hot_operations=200, seed=3))
+        coupling = system.coupling.counters.as_dict()
+        assert coupling.get("page_faults", 0) > 0
+        assert coupling.get("hypervisor_faults", 0) > 0
+        # The injected streams executed on the core (guest + hypervisor).
+        assert report.kernel_instructions > 0
+        assert system.vm.counters.get("hypervisor_backing_faults") > 0
+        assert report.details["virtualization"]["vm"]["guest_page_faults"] > 0
+
+    def test_report_details_carry_hypervisor_section(self):
+        system = Virtuoso(virtualized_config(), seed=7)
+        report = system.run(GuestMixWorkload(footprint_bytes=1 * MB,
+                                             hot_operations=100, seed=3))
+        virt = report.details["virtualization"]
+        assert "vm" in virt and "hypervisor" in virt
+        assert "nested" in report.details["mmu"]
+
+
+class TestVirtualizedEngineInvariance:
+    def run_engine(self, engine: str):
+        system = Virtuoso(virtualized_config(engine), seed=7)
+        report = system.run(GuestMixWorkload(footprint_bytes=2 * MB,
+                                             hot_operations=600, seed=3))
+        return system, report
+
+    def test_single_core_bit_identical(self):
+        _, legacy = self.run_engine("legacy")
+        batch_system, batch = self.run_engine("batch")
+        assert batch_system.mmu.fast_hits > 0  # the fast path really engaged
+        diffs = diff_stats(flatten_stats(legacy), flatten_stats(batch))
+        assert not diffs, f"virtualized engine divergence: {diffs[:3]}"
+
+    def test_multicore_bit_identical(self):
+        def run(engine):
+            system = MultiCoreVirtuoso(virtualized_config(engine), num_cores=2,
+                                       seed=7)
+            result = system.run(virtualized_guests(count=2,
+                                                   footprint_bytes=1 * MB,
+                                                   hot_operations=300, seed=3))
+            return result.merged
+
+        legacy = run("legacy")
+        batch = run("batch")
+        diffs = diff_stats(flatten_stats(legacy), flatten_stats(batch))
+        assert not diffs, f"virtualized multicore divergence: {diffs[:3]}"
+
+
+def _hypervisor_swap_out_backing(system: Virtuoso, process, address: int) -> int:
+    """Do exactly what host kswapd reclaim does to the frame backing
+    ``address``: swap out every 4 KB slot, unmap it in the host page table
+    and broadcast the host TLB shootdown (which is what triggers the nested
+    invalidation).  Returns the number of 4 KB pages swapped."""
+    vm, host = system.vm, system.hypervisor
+    mapping = process.page_table.lookup(address)
+    assert mapping is not None
+    guest_physical = mapping[0] + (address - align_down(address, mapping[1]))
+    host_virtual = vm.guest_physical_to_host_virtual(guest_physical)
+    host_table = vm.host_process.page_table
+    host_mapping = host_table.lookup(host_virtual)
+    assert host_mapping is not None
+    base = align_down(host_virtual, host_mapping[1])
+    pages = host_mapping[1] // PAGE_SIZE_4K
+    for index in range(pages):
+        host.swap.swap_out(vm.host_process.pid, page_number(base) + index)
+    host_table.remove(base)
+    host.tlb_shootdown(vm.host_process.pid, base)
+    return pages
+
+
+class TestHypervisorRemapStalenessRegression:
+    """A host remap must invalidate combined translations on both engines."""
+
+    def run_engine(self, engine: str):
+        system = Virtuoso(virtualized_config(engine), seed=7)
+        process = system.create_process("guest-app")
+        vma = system.kernel.mmap(process, 1 * MB)
+        system.activate_process(process)
+        address = vma.start + 0x1000
+
+        access = (system.mmu.access_data_fast if engine == "batch"
+                  else system.mmu.access_data)
+        assert access(address).translation.page_fault  # fault both levels in
+        access(address)
+        access(address)
+        if engine == "batch":
+            assert system.mmu.fast_hits > 0
+
+        swapped = _hypervisor_swap_out_backing(system, process, address)
+        assert swapped > 0
+
+        outcome = access(address)
+        return system, outcome
+
+    def test_next_access_refaults_identically_on_both_engines(self):
+        legacy_system, legacy_outcome = self.run_engine("legacy")
+        batch_system, batch_outcome = self.run_engine("batch")
+
+        # The guest translation is intact, so the re-fault is an EPT
+        # violation resolved purely by the hypervisor: a host swap-in.
+        for system, outcome in ((legacy_system, legacy_outcome),
+                                (batch_system, batch_outcome)):
+            assert outcome.translation.page_fault, (
+                "access after hypervisor remap translated through a stale "
+                "combined mapping instead of re-faulting")
+            assert system.vm.counters.get("ept_violations") == 1
+            assert system.hypervisor.swap.counters.get("swap_ins") >= 1
+            assert system.mmu.counters.get("nested_shootdowns") == 1
+
+        # And the whole sequence is engine-invariant, statistic by statistic.
+        assert legacy_system.mmu.counters.as_dict() == \
+            batch_system.mmu.counters.as_dict()
+        assert legacy_system.tlbs.stats() == batch_system.tlbs.stats()
+        assert legacy_system.mmu.nested_unit.stats() == \
+            batch_system.mmu.nested_unit.stats()
+        assert legacy_system.coupling.counters.as_dict() == \
+            batch_system.coupling.counters.as_dict()
+
+    def test_stale_translation_survives_if_wiring_removed(self, monkeypatch):
+        """Documents the failure mode: without the nested shootdown the next
+        access silently translates through the stale combined mapping (this
+        is exactly what the regression test above would catch)."""
+        monkeypatch.setattr(MMU, "invalidate_nested_translations",
+                            lambda self: None)
+        system, outcome = self.run_engine("batch")
+        assert not outcome.translation.page_fault
+        assert system.hypervisor.swap.counters.get("swap_ins") == 0
+
+
+class TestTwoDimensionalAccounting:
+    """Satellite: guest vs host walk latency is attributed, not conflated."""
+
+    def test_guest_and_host_dimensions_sum_to_ptw_total(self):
+        system = Virtuoso(virtualized_config(), seed=7)
+        system.run(GuestMixWorkload(footprint_bytes=1 * MB,
+                                    hot_operations=300, seed=3))
+        mmu = system.mmu
+        nested_stats = mmu.nested_unit.stats()
+        hits = nested_stats.get("nested_tlb_hits", 0)
+        hit_latency = mmu.nested_unit.nested_tlb.latency
+        guest_total = mmu.guest_ptw_latency_stats.total
+        host_total = mmu.host_ptw_latency_stats.total
+        assert guest_total > 0 and host_total > 0
+        # Every walk's latency is exactly its guest share + host share,
+        # except nested-TLB hits which walk neither dimension.
+        assert mmu.ptw_latency_stats.total == pytest.approx(
+            guest_total + host_total + hits * hit_latency)
+
+    def test_adapter_reports_split_not_combined_latency(self):
+        from repro.mmu.mmu import _NestedWalkAdapter
+        from repro.mmu.nested import NestedWalkResult
+
+        nested = NestedWalkResult(found=True, latency=100, memory_accesses=8,
+                                  host_physical_base=0x1000,
+                                  guest_latency=30, host_latency=70)
+        adapter = _NestedWalkAdapter(nested)
+        assert adapter.frontend_latency == 30
+        assert adapter.backend_latency == 70
+        # The old bug: backend_latency == nested.latency (the combined 2-D
+        # cost counted wholesale as host/backend time).
+        assert adapter.backend_latency != nested.latency
