@@ -1,0 +1,124 @@
+"""Experiment-service robustness bench: fault-injected digest identity.
+
+The acceptance gate of the fault-tolerant experiment service: a seeded
+:class:`~repro.experiments.faultinject.FaultPlan` injecting a worker
+crash (``os._exit``), a hang (killed by the per-job timeout) and a
+transient exception into an 8-point sweep must still yield a final
+merged digest **byte-identical** to the fault-free ``workers=1``
+straight-line run, and a re-run against the same store must serve every
+point from the content-addressed cache.  The resulting retry/timeout/
+cache-hit counters are recorded into ``benchmarks/perf/BENCH_perf.json``
+under the ``"service"`` key, where ``test_perf_smoke.py`` gates them.
+
+Run standalone from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/service_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.common.addresses import MB
+from repro.experiments.faultinject import FaultPlan
+from repro.experiments.service import run_resilient_sweep
+from repro.experiments.sweep import SweepPoint, run_sweep
+
+try:
+    # The package import pytest and in-repo tooling use; this tool only
+    # touches the record's "service" key (the harness preserves it on rewrite).
+    from benchmarks.perf.kips_harness import BENCH_PATH
+except ImportError:  # executed as a script: the module is a sibling file
+    from kips_harness import BENCH_PATH
+
+#: Seed of the recorded fault plan (three distinct victims out of eight).
+FAULT_PLAN_SEED = 2025
+
+#: Per-job wall-clock timeout: generous against real points (~0.1 s each),
+#: tight against the injected hang.
+JOB_TIMEOUT_SECONDS = 2.0
+
+
+def service_grid() -> List[SweepPoint]:
+    """An 8-point grid mixing translation- and fault-bound behaviour."""
+    points = [SweepPoint(name=f"svc-gups-{index}", workload="RND",
+                         workload_kwargs={"footprint_bytes": 4 * MB,
+                                          "memory_operations": 4000,
+                                          "prefault": True, "seed": index})
+              for index in range(6)]
+    points.append(SweepPoint(name="svc-gups-ech", workload="RND",
+                             page_table_kind="ech",
+                             workload_kwargs={"footprint_bytes": 4 * MB,
+                                              "memory_operations": 4000,
+                                              "prefault": True, "seed": 6}))
+    points.append(SweepPoint(name="svc-llm", workload="Bagel",
+                             workload_kwargs={"scale": 0.05, "seed": 7}))
+    return points
+
+
+def measure_service() -> Dict[str, object]:
+    """Run the fault matrix and digest the robustness counters."""
+    points = service_grid()
+    straight = run_sweep(points, workers=1)
+    plan = FaultPlan.seeded([point.name for point in points],
+                            seed=FAULT_PLAN_SEED,
+                            crashes=1, hangs=1, flaky=1, flaky_attempts=1)
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as root:
+        faulted = run_resilient_sweep(points, store_root=root, workers=2,
+                                      timeout=JOB_TIMEOUT_SECONDS, retries=3,
+                                      backoff=0.05, fault_plan=plan)
+        rerun = run_resilient_sweep(points, store_root=root, workers=2)
+    wall_seconds = time.perf_counter() - start
+
+    identical = (faulted["simulated_sha256"] == straight["simulated_sha256"]
+                 == rerun["simulated_sha256"])
+    counters = faulted["service"]
+    digest = {
+        "schema": "service_digest/v1",
+        "grid_points": len(points),
+        "host_cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "fault_plan": {"seed": FAULT_PLAN_SEED, **plan.counts()},
+        "timeout_seconds": JOB_TIMEOUT_SECONDS,
+        "digest_identical": identical,
+        "simulated_sha256": straight["simulated_sha256"],
+        "quarantined": counters["quarantined"],
+        "counters": {key: counters[key] for key in
+                     ("jobs", "mode", "cache_hits", "cache_misses",
+                      "executed", "retries", "crashes", "timeouts",
+                      "transient_failures", "stragglers", "quarantined")},
+        "rerun_cache_hit_rate": rerun["service"]["cache_hit_rate"],
+        "wall_seconds": round(wall_seconds, 4),
+    }
+    if not identical:
+        raise AssertionError(
+            "fault-injected sweep digest diverged from the straight-line run:"
+            f" faulted={faulted['simulated_sha256']}"
+            f" straight={straight['simulated_sha256']}"
+            f" rerun={rerun['simulated_sha256']}")
+    return digest
+
+
+def main() -> None:
+    digest = measure_service()
+    data = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    data["service"] = digest
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote service digest to {BENCH_PATH}")
+    counters = digest["counters"]
+    print(f"  faults injected: {digest['fault_plan']} -> "
+          f"crashes={counters['crashes']} timeouts={counters['timeouts']} "
+          f"transient={counters['transient_failures']} "
+          f"retries={counters['retries']}")
+    print(f"  digest identical to straight-line: {digest['digest_identical']}")
+    print(f"  rerun cache hit rate: {digest['rerun_cache_hit_rate']:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,7 @@ def measure_scaling(points: Sequence[SweepPoint] = SWEEP_GRID,
         "scaling_2_workers": scaling_2w,
         "scaling_target": SWEEP_SCALING_TARGET,
         "deterministic_across_workers": True,
+        "simulated_sha256": runs[reference_workers]["simulated_sha256"],
         "merged": runs[reference_workers]["merged"],
         "points": runs[reference_workers]["points"],
     }

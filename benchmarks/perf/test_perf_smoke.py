@@ -11,6 +11,7 @@ record.  Regenerate the record with::
 
     PYTHONPATH=src python benchmarks/perf/kips_harness.py
     PYTHONPATH=src python benchmarks/perf/sweep.py
+    PYTHONPATH=src python benchmarks/perf/service_bench.py
 
 Vectorised workload generation (numpy) is optional: the assertions that
 specifically concern the vectorised generators are skipped when numpy is
@@ -236,6 +237,40 @@ def test_sweep_host_scaling_meets_target():
     assert scaling is not None and scaling >= digest["scaling_target"], (
         f"2-worker sweep scaling {scaling}x is below the "
         f"{digest['scaling_target']}x near-linear target")
+
+
+def test_service_fault_tolerance_recorded():
+    """The recorded fault-injection run must attest full recovery.
+
+    The ``service`` section (written by ``benchmarks/perf/service_bench
+    .py``) records a seeded FaultPlan injecting a worker crash, a hang
+    (timeout-killed) and a transient exception into an 8-point sweep:
+    every fault class must actually have fired, every job must have
+    recovered (no quarantine), the final digest must be byte-identical
+    to the fault-free straight-line run, and a re-run against the same
+    store must have served every point from the content-addressed cache.
+    """
+    recorded = recorded_bench()
+    digest = recorded.get("service")
+    if digest is None:
+        pytest.skip("no service digest recorded yet; run "
+                    "benchmarks/perf/service_bench.py")
+    assert digest["digest_identical"] is True, (
+        "the recorded fault-injected sweep digest diverged from the "
+        "straight-line run — the service's determinism guarantee is broken")
+    counters = digest["counters"]
+    assert counters["crashes"] >= 1, "recorded run never injected a crash"
+    assert counters["timeouts"] >= 1, "recorded run never timeout-killed a hang"
+    assert counters["transient_failures"] >= 1, (
+        "recorded run never injected a transient failure")
+    assert counters["retries"] >= 3, (
+        "every injected fault must have cost (and recovered through) a retry")
+    assert counters["quarantined"] == 0, (
+        "the recorded fault plan is recoverable; nothing may be quarantined")
+    assert digest["grid_points"] >= 8
+    assert digest["rerun_cache_hit_rate"] == 1.0, (
+        "re-running the identical grid must be served entirely from the "
+        "content-addressed result store")
 
 
 def test_backend_parity_digest_covers_the_zoo():

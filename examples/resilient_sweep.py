@@ -1,0 +1,63 @@
+"""Fault-tolerant sweeps: crash a worker mid-grid, finish bit-identical.
+
+Demonstrates the experiment service (`repro.experiments.service`):
+
+1. run an 8-point sweep sequentially — the straight-line baseline;
+2. run the same grid on the durable service with a seeded FaultPlan
+   injecting a worker crash, a hang (killed by the per-job timeout) and
+   a transient exception — retries/backoff recover every point and the
+   final digest fingerprint matches the baseline exactly;
+3. run it a third time against the same store — every point is served
+   from the content-addressed result cache, no simulation executes.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/resilient_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.experiments.faultinject import FaultPlan
+from repro.experiments.service import demo_grid, run_resilient_sweep
+from repro.experiments.sweep import run_sweep
+
+
+def main() -> None:
+    points = demo_grid(8, memory_operations=3000)
+    print(f"grid: {len(points)} points")
+
+    straight = run_sweep(points, workers=1)
+    print(f"straight-line run: {straight['wall_seconds']:.2f}s, "
+          f"sha {straight['simulated_sha256'][:16]}…")
+
+    plan = FaultPlan.seeded([p.name for p in points], seed=42,
+                            crashes=1, hangs=1, flaky=1, flaky_attempts=1)
+    for action in plan.actions:
+        print(f"  injecting {action.kind} into {action.job} "
+              f"(attempt {action.attempt})")
+
+    with tempfile.TemporaryDirectory(prefix="repro-resilient-") as root:
+        faulted = run_resilient_sweep(points, store_root=root, workers=2,
+                                      timeout=2.0, retries=3, backoff=0.05,
+                                      fault_plan=plan)
+        counters = faulted["service"]
+        print(f"faulted run: {faulted['wall_seconds']:.2f}s — "
+              f"crashes={counters['crashes']} timeouts={counters['timeouts']} "
+              f"transient={counters['transient_failures']} "
+              f"retries={counters['retries']} "
+              f"quarantined={counters['quarantined']}")
+        identical = faulted["simulated_sha256"] == straight["simulated_sha256"]
+        print(f"  digest identical to straight-line: {identical}")
+
+        cached = run_resilient_sweep(points, store_root=root, workers=2)
+        print(f"cached rerun: {cached['wall_seconds']:.2f}s — "
+              f"cache hit rate {cached['service']['cache_hit_rate']:.0%}, "
+              f"executed {cached['service']['executed']} point(s)")
+        assert identical
+        assert cached["simulated_sha256"] == straight["simulated_sha256"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,25 +1,68 @@
-"""Experiment orchestration: figure-scale parameter sweeps over host cores.
+"""Experiment orchestration: durable, cached, fault-tolerant sweeps.
 
 :mod:`repro.experiments.sweep` fans a grid of simulation configurations
 across ``multiprocessing`` workers with deterministic per-config RNG
-seeding and merges the resulting reports, so figure-scale sweeps scale
-with the host machine instead of running strictly sequentially.
+seeding and merges the resulting reports.
+:mod:`repro.experiments.service` is the fault-tolerant layer underneath:
+a journaled job queue, a content-addressed result store
+(:mod:`repro.experiments.store`), supervised workers with per-job
+timeouts and retry/backoff/quarantine, and a deterministic fault-
+injection harness (:mod:`repro.experiments.faultinject`) that proves a
+crashed, hung or killed-and-resumed sweep still produces a digest
+byte-identical to a straight-line run.
 """
 
+from repro.experiments.faultinject import FaultAction, FaultPlan, TransientFault
+from repro.experiments.store import Journal, ResultStore, content_key
 from repro.experiments.sweep import (
     SweepPoint,
+    fan_out,
+    kips_value,
     merge_point_digests,
     point_seed,
     run_point,
     run_sweep,
     simulated_digest,
+    simulated_fingerprint,
+    validate_points,
 )
 
+# The service module is imported lazily (PEP 562): it is also the package's
+# ``python -m repro.experiments.service`` entry point, and an eager import
+# here would shadow the runpy execution of that module as ``__main__``.
+_SERVICE_EXPORTS = ("ExperimentService", "Job", "demo_grid",
+                    "run_resilient_sweep", "sweep_job_key", "sweep_jobs")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro.experiments import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ExperimentService",
+    "FaultAction",
+    "FaultPlan",
+    "Job",
+    "Journal",
+    "ResultStore",
     "SweepPoint",
+    "TransientFault",
+    "content_key",
+    "demo_grid",
+    "fan_out",
+    "kips_value",
     "merge_point_digests",
     "point_seed",
     "run_point",
+    "run_resilient_sweep",
     "run_sweep",
     "simulated_digest",
+    "simulated_fingerprint",
+    "sweep_job_key",
+    "sweep_jobs",
+    "validate_points",
 ]

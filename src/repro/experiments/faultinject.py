@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the experiment service.
+
+The robustness guarantees of :mod:`repro.experiments.service` (retry,
+timeout-kill, backoff, quarantine, resume) are only trustworthy if they
+are *tested* against real failure modes, so this module provides a
+seeded, picklable :class:`FaultPlan` that workers consult before running
+their job:
+
+* ``crash``  — the worker process dies abruptly via ``os._exit`` (no
+  cleanup, no result file), the supervisor sees a nonzero exit code;
+* ``hang``   — the worker sleeps far past the job timeout, exercising
+  the supervisor's wall-clock kill path;
+* ``flaky``  — the worker raises :class:`TransientFault` on its first N
+  attempts and succeeds afterwards, exercising retry + backoff.
+
+Every action is keyed on ``(job name, attempt number)``, so a plan is
+fully deterministic: the same plan against the same grid injects the
+same faults in every run, which is what lets the robustness tests assert
+*bit-identical* final digests between a faulted run and a fault-free
+straight-line run.  :meth:`FaultPlan.seeded` picks victims with a seeded
+``random.Random`` (never the salted builtin ``hash``) for the same
+reason.
+
+Plans are plain dataclasses (picklable: they travel to worker processes)
+with a JSON round-trip for the ``--fault-plan`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Exit code of an injected worker crash (distinctive in supervisor logs).
+CRASH_EXIT_CODE = 213
+
+#: How long an injected hang sleeps; any sane job timeout kills it first.
+HANG_SECONDS = 3600.0
+
+FAULT_KINDS = ("crash", "hang", "flaky")
+
+
+class TransientFault(RuntimeError):
+    """An injected transient failure: succeeds when retried."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected fault: ``kind`` fires when ``job`` reaches ``attempt``."""
+
+    job: str
+    #: 1-based attempt number the fault fires on.
+    attempt: int
+    kind: str  # one of FAULT_KINDS
+    hang_seconds: float = HANG_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {FAULT_KINDS}")
+        if self.attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of :class:`FaultAction`\\ s over a job grid."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+    #: Seed the plan was generated from (informational, for digests).
+    seed: Optional[int] = None
+
+    def actions_for(self, job: str, attempt: int) -> List[FaultAction]:
+        return [action for action in self.actions
+                if action.job == job and action.attempt == attempt]
+
+    def apply(self, job: str, attempt: int) -> None:
+        """Fire any fault registered for ``(job, attempt)``.
+
+        Called inside the worker process, before the real work: a crash
+        never returns, a hang sleeps until the supervisor kills the
+        worker, a flaky raises :class:`TransientFault`.
+        """
+        for action in self.actions_for(job, attempt):
+            if action.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if action.kind == "hang":
+                time.sleep(action.hang_seconds)
+            if action.kind == "flaky":
+                raise TransientFault(
+                    f"injected transient fault: job {job!r} attempt {attempt}")
+
+    def counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for action in self.actions:
+            counts[action.kind] += 1
+        return counts
+
+    # ----------------------------------------------------------------- #
+    # Construction / serialisation
+    # ----------------------------------------------------------------- #
+    @classmethod
+    def seeded(cls, job_names: Sequence[str], seed: int,
+               crashes: int = 1, hangs: int = 1, flaky: int = 1,
+               flaky_attempts: int = 1,
+               hang_seconds: float = HANG_SECONDS) -> "FaultPlan":
+        """A seeded plan injecting faults into distinct victims.
+
+        Victims are drawn without replacement by a seeded
+        ``random.Random`` over the sorted job names, so the same
+        ``(grid, seed)`` always targets the same jobs.  ``crash`` and
+        ``hang`` victims fail on attempt 1 only; each ``flaky`` victim
+        raises :class:`TransientFault` on attempts ``1..flaky_attempts``
+        and then passes — the shape the backoff-schedule test asserts.
+        """
+        wanted = crashes + hangs + flaky
+        names = sorted(job_names)
+        if wanted > len(names):
+            raise ValueError(f"plan wants {wanted} distinct victims but the "
+                             f"grid has only {len(names)} jobs")
+        rng = random.Random(seed)
+        victims = rng.sample(names, wanted)
+        actions: List[FaultAction] = []
+        cursor = 0
+        for _ in range(crashes):
+            actions.append(FaultAction(victims[cursor], 1, "crash"))
+            cursor += 1
+        for _ in range(hangs):
+            actions.append(FaultAction(victims[cursor], 1, "hang",
+                                       hang_seconds=hang_seconds))
+            cursor += 1
+        for _ in range(flaky):
+            for attempt in range(1, flaky_attempts + 1):
+                actions.append(FaultAction(victims[cursor], attempt, "flaky"))
+            cursor += 1
+        return cls(actions=actions, seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed,
+                           "actions": [asdict(action) for action in self.actions]},
+                          indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        raw = json.loads(text)
+        return cls(actions=[FaultAction(**action) for action in raw["actions"]],
+                   seed=raw.get("seed"))

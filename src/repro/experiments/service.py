@@ -1,0 +1,669 @@
+"""Fault-tolerant experiment service: durable, cached, supervised fan-out.
+
+The one-shot ``pool.map`` sweep runner loses every already-computed point
+when a single worker hangs or dies.  This module grows it into a durable
+service shared by every host-parallel path in the repo (sweeps, the
+parity lattice, the perf benches):
+
+* every job is **content-addressed** (:func:`repro.experiments.store
+  .content_key` over the point configuration + base seed), journaled to
+  an append-only JSONL work log, and its completed digest lands in a
+  :class:`~repro.experiments.store.ResultStore` — so re-running any
+  sweep, figure or parity slice reuses every already-computed point and
+  a killed host resumes from the journal and finishes with a digest
+  byte-identical to a straight-line run;
+* execution is **supervised**: each job runs in its own worker process
+  with a per-job wall-clock timeout, bounded retries with exponential
+  backoff, and straggler detection; a worker crash (``os._exit``), hang
+  (timeout-killed) or transient exception costs one attempt, never the
+  sweep;
+* degraded modes are graceful: a job that exhausts its retries is
+  **quarantined** — its name, reason and traceback are recorded under
+  ``failed_points`` in the digest while every other point completes;
+* determinism is preserved: job identity (and therefore the per-point
+  crc32 seed) never depends on scheduling, results are merged in
+  submission order, and the ``simulated_sha256`` fingerprint of a
+  faulted, resumed, or cached run equals the fault-free ``workers=1``
+  run exactly.
+
+Three execution modes, chosen from the configured features:
+
+========== =====================================================
+fan-out    no store/journal/timeout/faults: the classic
+           order-preserving ``pool.map`` path (or inline for one
+           worker) — the fast path ``run_sweep`` uses by default.
+inline     durable but sequential and fault-free: per-job
+           store/journal commits in the parent (the kill-and-
+           resume baseline).
+supervised any of timeout / fault plan / durable parallelism:
+           one supervised worker process per job.
+========== =====================================================
+
+CLI::
+
+    python -m repro.experiments.service run --demo 8 --store DIR [--workers N]
+    python -m repro.experiments.service status --store DIR
+    python -m repro.experiments.service kill-resume-smoke [--store DIR]
+
+The ``kill-resume-smoke`` subcommand is the CI resilience gate: it
+starts a sweep in a child process group, SIGKILLs it mid-flight, resumes
+from the same store and asserts the final digest is byte-identical to a
+straight-line run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.addresses import MB
+from repro.experiments.faultinject import FaultPlan, TransientFault
+from repro.experiments.store import Journal, ResultStore, content_key
+from repro.experiments.sweep import (
+    SweepPoint,
+    fan_out,
+    merge_point_digests,
+    run_point,  # noqa: F401  (re-exported for service clients)
+    simulated_fingerprint,
+    validate_points,
+    _worker,
+)
+
+#: Supervisor poll interval while worker processes run.
+POLL_SECONDS = 0.005
+
+#: Content-address schema tag for sweep jobs (bump on digest layout change).
+SWEEP_JOB_SCHEMA = "sweep_point/v1"
+
+#: A running job this many times slower than the median completed job (and
+#: past the absolute floor) is flagged as a straggler.
+STRAGGLER_FACTOR = 4.0
+STRAGGLER_FLOOR_SECONDS = 0.25
+
+
+@dataclass
+class Job:
+    """One unit of work: a picklable payload with a durable identity."""
+
+    index: int
+    name: str
+    key: str
+    item: object
+
+
+@dataclass
+class _JobState:
+    job: Job
+    attempt: int = 1
+    eligible_at: float = 0.0
+    backoff_schedule: List[float] = field(default_factory=list)
+    last_reason: Optional[str] = None
+    last_traceback: Optional[str] = None
+    straggler: bool = False
+
+
+def _supervised_entry(worker: Callable[[object], Dict[str, object]],
+                      item: object, name: str, attempt: int,
+                      fault_plan: Optional[FaultPlan],
+                      result_path: str) -> None:
+    """Worker-process entry: run one job attempt and commit its outcome.
+
+    The outcome file is written atomically (temp + ``os.replace``), so
+    the supervisor never reads a torn result; an injected crash exits
+    before any file appears, which the supervisor reads as a crash.
+    """
+    try:
+        if fault_plan is not None:
+            fault_plan.apply(name, attempt)
+        digest = worker(item)
+        payload: Dict[str, object] = {"status": "ok", "digest": digest}
+    except TransientFault:
+        payload = {"status": "transient", "traceback": traceback.format_exc()}
+    except BaseException:  # noqa: BLE001 - any worker failure must be reported
+        payload = {"status": "error", "traceback": traceback.format_exc()}
+    tmp = f"{result_path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, result_path)
+
+
+class ExperimentService:
+    """Durable, supervised executor for content-addressed job grids."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 store: Optional[object] = None,
+                 journal: Optional[object] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff: float = 0.25,
+                 backoff_cap: float = 8.0,
+                 straggler_factor: float = STRAGGLER_FACTOR,
+                 fault_plan: Optional[FaultPlan] = None,
+                 fsync: bool = True) -> None:
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        if journal is None and store is not None:
+            journal = Journal(store.journal_path, fsync=fsync)
+        elif journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal, fsync=fsync)
+        self.journal = journal
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.straggler_factor = straggler_factor
+        self.fault_plan = fault_plan
+
+    # ----------------------------------------------------------------- #
+    # Mode selection
+    # ----------------------------------------------------------------- #
+    @property
+    def durable(self) -> bool:
+        return self.store is not None or self.journal is not None
+
+    def _mode(self) -> str:
+        if self.fault_plan is not None or self.timeout is not None:
+            return "supervised"
+        if not self.durable:
+            return "fan_out"
+        return "inline" if self.workers == 1 else "supervised"
+
+    # ----------------------------------------------------------------- #
+    # Execution
+    # ----------------------------------------------------------------- #
+    def execute(self, worker: Callable[[object], Dict[str, object]],
+                jobs: Sequence[Job]) -> Dict[str, object]:
+        """Run every job (cache-first) and return ordered results.
+
+        ``worker`` must be a module-level callable (it crosses process
+        boundaries) returning a JSON-serialisable digest.  The outcome
+        carries ``results`` in submission order (``None`` for quarantined
+        jobs), ``failed_points``, service counters and per-job details.
+        """
+        mode = self._mode()
+        counters: Dict[str, object] = {
+            "jobs": len(jobs), "mode": mode,
+            "cache_hits": 0, "cache_misses": 0, "executed": 0,
+            "retries": 0, "crashes": 0, "timeouts": 0,
+            "transient_failures": 0, "errors": 0,
+            "quarantined": 0, "stragglers": 0,
+            "resumed_interrupted": 0, "journal_corrupt_lines": 0,
+            "store_corrupt_objects": 0,
+        }
+        self._replay_for_resume(jobs, counters)
+        self._journal({"event": "run_started", "jobs": len(jobs),
+                       "mode": mode, "workers": self.workers})
+
+        results: List[Optional[Dict[str, object]]] = [None] * len(jobs)
+        details: Dict[str, Dict[str, object]] = {}
+        misses: List[Job] = []
+        for job in jobs:
+            hit = self.store.get(job.key) if self.store is not None else None
+            if hit is not None:
+                results[job.index] = hit["digest"]
+                counters["cache_hits"] += 1
+                details[job.name] = {"attempts": 0, "cache_hit": True,
+                                     "backoff_schedule": [], "straggler": False}
+                self._journal({"event": "cache_hit", "key": job.key,
+                               "name": job.name})
+            else:
+                counters["cache_misses"] += 1
+                misses.append(job)
+
+        failed: List[Dict[str, object]] = []
+        if misses:
+            if mode == "fan_out":
+                outputs = fan_out(worker, [job.item for job in misses],
+                                  workers=self.workers)
+                for job, digest in zip(misses, outputs):
+                    results[job.index] = digest
+                    counters["executed"] += 1
+                    details[job.name] = {"attempts": 1, "cache_hit": False,
+                                         "backoff_schedule": [],
+                                         "straggler": False}
+            elif mode == "inline":
+                for job in misses:
+                    self._journal({"event": "attempt_started", "key": job.key,
+                                   "name": job.name, "attempt": 1})
+                    digest = worker(job.item)
+                    self._commit(job, digest)
+                    results[job.index] = digest
+                    counters["executed"] += 1
+                    details[job.name] = {"attempts": 1, "cache_hit": False,
+                                         "backoff_schedule": [],
+                                         "straggler": False}
+            else:
+                self._run_supervised(worker, misses, results, failed,
+                                     counters, details)
+
+        if self.store is not None:
+            counters["store_corrupt_objects"] = self.store.corrupt_objects
+        total = len(jobs)
+        counters["cache_hit_rate"] = (round(counters["cache_hits"] / total, 4)
+                                      if total else 0.0)
+        self._journal({"event": "run_completed",
+                       "completed": sum(1 for r in results if r is not None),
+                       "quarantined": counters["quarantined"]})
+        return {"results": results, "failed_points": failed,
+                "counters": counters, "job_details": details}
+
+    # ----------------------------------------------------------------- #
+    # Supervised execution: per-job processes, timeout, retry, backoff
+    # ----------------------------------------------------------------- #
+    def _run_supervised(self, worker, misses: List[Job],
+                        results: List[Optional[Dict[str, object]]],
+                        failed: List[Dict[str, object]],
+                        counters: Dict[str, object],
+                        details: Dict[str, Dict[str, object]]) -> None:
+        scratch_root = (self.store.root / "scratch" if self.store is not None
+                        else Path(tempfile.mkdtemp(prefix="repro-service-")))
+        scratch_root.mkdir(parents=True, exist_ok=True)
+        pending: List[_JobState] = [_JobState(job) for job in misses]
+        running: Dict[str, Dict[str, object]] = {}
+        durations: List[float] = []
+
+        def finish(state: _JobState, digest: Dict[str, object]) -> None:
+            self._commit(state.job, digest)
+            results[state.job.index] = digest
+            counters["executed"] += 1
+            details[state.job.name] = {
+                "attempts": state.attempt, "cache_hit": False,
+                "backoff_schedule": list(state.backoff_schedule),
+                "straggler": state.straggler}
+
+        def fail(state: _JobState, reason: str,
+                 trace: Optional[str], now: float) -> None:
+            counter_key = {"crash": "crashes", "timeout": "timeouts",
+                           "transient": "transient_failures"}.get(reason,
+                                                                  "errors")
+            counters[counter_key] += 1
+            state.last_reason, state.last_traceback = reason, trace
+            self._journal({"event": "attempt_failed", "key": state.job.key,
+                           "name": state.job.name, "attempt": state.attempt,
+                           "reason": reason})
+            if state.attempt > self.retries:
+                counters["quarantined"] += 1
+                entry = {"name": state.job.name, "key": state.job.key,
+                         "attempts": state.attempt, "reason": reason,
+                         "traceback": trace}
+                failed.append(entry)
+                details[state.job.name] = {
+                    "attempts": state.attempt, "cache_hit": False,
+                    "backoff_schedule": list(state.backoff_schedule),
+                    "straggler": state.straggler}
+                self._journal({"event": "job_quarantined", "key": state.job.key,
+                               "name": state.job.name, "reason": reason})
+                return
+            delay = min(self.backoff * (2.0 ** (state.attempt - 1)),
+                        self.backoff_cap)
+            state.backoff_schedule.append(round(delay, 6))
+            state.attempt += 1
+            state.eligible_at = now + delay
+            counters["retries"] += 1
+            pending.append(state)
+
+        while pending or running:
+            now = time.monotonic()
+            # Launch every eligible pending job while worker slots remain.
+            launchable = [s for s in pending if s.eligible_at <= now]
+            while launchable and len(running) < self.workers:
+                state = launchable.pop(0)
+                pending.remove(state)
+                result_path = scratch_root / (f"{state.job.key[:16]}"
+                                              f".a{state.attempt}.json")
+                if result_path.exists():
+                    result_path.unlink()
+                process = multiprocessing.Process(
+                    target=_supervised_entry,
+                    args=(worker, state.job.item, state.job.name,
+                          state.attempt, self.fault_plan, str(result_path)))
+                process.daemon = True
+                process.start()
+                self._journal({"event": "attempt_started",
+                               "key": state.job.key, "name": state.job.name,
+                               "attempt": state.attempt, "pid": process.pid})
+                running[state.job.name] = {
+                    "state": state, "process": process, "started": now,
+                    "result_path": result_path}
+
+            # Poll the running set for completions, timeouts and stragglers.
+            for name in list(running):
+                entry = running[name]
+                state: _JobState = entry["state"]
+                process: multiprocessing.Process = entry["process"]
+                elapsed = now - entry["started"]
+                if process.is_alive():
+                    if self.timeout is not None and elapsed > self.timeout:
+                        self._kill(process)
+                        del running[name]
+                        fail(state, "timeout", None, time.monotonic())
+                        continue
+                    if (not state.straggler and len(durations) >= 3):
+                        median = statistics.median(durations)
+                        if elapsed > max(self.straggler_factor * median,
+                                         STRAGGLER_FLOOR_SECONDS):
+                            state.straggler = True
+                            counters["stragglers"] += 1
+                            self._journal({"event": "straggler",
+                                           "name": name,
+                                           "elapsed": round(elapsed, 3)})
+                    continue
+                process.join()
+                del running[name]
+                outcome = self._read_result(entry["result_path"])
+                if outcome is None:
+                    reason = ("crash" if process.exitcode != 0 else "lost")
+                    trace = (f"worker exited with code {process.exitcode} "
+                             f"before reporting a result")
+                    fail(state, reason, trace, time.monotonic())
+                elif outcome.get("status") == "ok":
+                    durations.append(elapsed)
+                    finish(state, outcome["digest"])
+                else:
+                    reason = ("transient" if outcome.get("status") == "transient"
+                              else "error")
+                    fail(state, reason, outcome.get("traceback"),
+                         time.monotonic())
+
+            if pending or running:
+                time.sleep(POLL_SECONDS)
+
+    @staticmethod
+    def _kill(process: multiprocessing.Process) -> None:
+        process.terminate()
+        process.join(0.5)
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+    @staticmethod
+    def _read_result(path: Path) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # ----------------------------------------------------------------- #
+    # Durability plumbing
+    # ----------------------------------------------------------------- #
+    def _commit(self, job: Job, digest: Dict[str, object]) -> None:
+        if self.store is not None:
+            self.store.put(job.key, digest, meta={"name": job.name})
+        self._journal({"event": "job_completed", "key": job.key,
+                       "name": job.name})
+
+    def _journal(self, record: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _replay_for_resume(self, jobs: Sequence[Job],
+                           counters: Dict[str, object]) -> None:
+        """Recover the work log: count prior progress and interrupted jobs."""
+        if self.journal is None:
+            return
+        records, corrupt = self.journal.replay()
+        counters["journal_corrupt_lines"] = corrupt
+        if not records:
+            return
+        started = {r.get("key") for r in records
+                   if r.get("event") == "attempt_started"}
+        finished = {r.get("key") for r in records
+                    if r.get("event") in ("job_completed", "job_quarantined")}
+        current = {job.key for job in jobs}
+        counters["resumed_interrupted"] = len((started - finished) & current)
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Sweep-grid integration
+# --------------------------------------------------------------------- #
+def sweep_job_key(point: SweepPoint, base_seed: int = 0) -> str:
+    """The content address of a sweep point: config hash + base seed."""
+    return content_key({"schema": SWEEP_JOB_SCHEMA, "point": asdict(point),
+                        "base_seed": base_seed})
+
+
+def sweep_jobs(points: Sequence[SweepPoint],
+               base_seed: int = 0) -> List[Job]:
+    return [Job(index=index, name=point.name,
+                key=sweep_job_key(point, base_seed),
+                item=(point, base_seed))
+            for index, point in enumerate(points)]
+
+
+def run_resilient_sweep(points: Sequence[SweepPoint],
+                        store_root: Optional[os.PathLike] = None,
+                        workers: Optional[int] = None,
+                        base_seed: int = 0,
+                        timeout: Optional[float] = None,
+                        retries: int = 2,
+                        backoff: float = 0.25,
+                        fault_plan: Optional[FaultPlan] = None,
+                        fsync: bool = True) -> Dict[str, object]:
+    """:func:`~repro.experiments.sweep.run_sweep` on a durable service.
+
+    With ``store_root`` the sweep journals to ``store_root/journal.jsonl``
+    and caches every completed point content-addressed under
+    ``store_root/objects`` — killing the host mid-sweep and calling this
+    again finishes the grid and yields the same ``simulated_sha256``.
+    """
+    from repro.experiments.sweep import run_sweep
+
+    with ExperimentService(workers=workers, store=store_root,
+                           timeout=timeout, retries=retries, backoff=backoff,
+                           fault_plan=fault_plan, fsync=fsync) as service:
+        return run_sweep(points, workers=workers, base_seed=base_seed,
+                         service=service)
+
+
+def demo_grid(count: int = 8, memory_operations: int = 8000) -> List[SweepPoint]:
+    """A small self-contained grid for smokes and CLI demos."""
+    return [SweepPoint(name=f"demo-{index}", workload="RND",
+                       workload_kwargs={"footprint_bytes": 4 * MB,
+                                        "memory_operations": memory_operations,
+                                        "prefault": True, "seed": index})
+            for index in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def _load_points(path: str) -> List[SweepPoint]:
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    return [SweepPoint(**entry) for entry in raw]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    points = (_load_points(args.points) if args.points
+              else demo_grid(args.demo, memory_operations=args.demo_ops))
+    fault_plan = None
+    if args.fault_plan:
+        with open(args.fault_plan, "r", encoding="utf-8") as handle:
+            fault_plan = FaultPlan.from_json(handle.read())
+    digest = run_resilient_sweep(points, store_root=args.store,
+                                 workers=args.workers,
+                                 base_seed=args.base_seed,
+                                 timeout=args.timeout, retries=args.retries,
+                                 backoff=args.backoff, fault_plan=fault_plan)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(digest, handle, indent=2)
+            handle.write("\n")
+    service = digest["service"]
+    print(f"service run: {len(digest['points'])}/{service['jobs']} points "
+          f"({service['cache_hits']} cached, {service['executed']} executed, "
+          f"{service['quarantined']} quarantined) in "
+          f"{digest['wall_seconds']:.2f}s [{service['mode']}]")
+    print(f"  retries={service['retries']} crashes={service['crashes']} "
+          f"timeouts={service['timeouts']} "
+          f"transient={service['transient_failures']} "
+          f"cache_hit_rate={service['cache_hit_rate']:.0%}")
+    print(f"  simulated_sha256={digest['simulated_sha256']}")
+    for entry in digest["failed_points"]:
+        print(f"  QUARANTINED {entry['name']} after {entry['attempts']} "
+              f"attempts ({entry['reason']})")
+    return 1 if digest["failed_points"] else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    journal = Journal(store.journal_path)
+    records, corrupt = journal.replay()
+    events: Dict[str, int] = {}
+    for record in records:
+        event = str(record.get("event"))
+        events[event] = events.get(event, 0) + 1
+    print(f"store {store.root}: {sum(1 for _ in store.keys())} result objects")
+    print(f"journal: {len(records)} records ({corrupt} corrupt lines)")
+    for event in sorted(events):
+        print(f"  {event}: {events[event]}")
+    return 0
+
+
+def _count_completed(journal_path: Path) -> int:
+    if not journal_path.exists():
+        return 0
+    journal = Journal(journal_path)
+    records, _ = journal.replay()
+    return sum(1 for r in records if r.get("event") == "job_completed")
+
+
+def _cmd_kill_resume_smoke(args: argparse.Namespace) -> int:
+    """Start a sweep, SIGKILL it mid-flight, resume, assert digest identity."""
+    from repro.experiments.sweep import run_sweep
+
+    points = demo_grid(args.points, memory_operations=args.demo_ops)
+    baseline = run_sweep(points, workers=1)
+    want = baseline["simulated_sha256"]
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+
+    for round_index in range(1, args.rounds + 1):
+        store_root = Path(args.store) if args.store else Path(
+            tempfile.mkdtemp(prefix="repro-kill-resume-"))
+        if args.store and round_index > 1:
+            store_root = Path(tempfile.mkdtemp(prefix="repro-kill-resume-"))
+        command = [sys.executable, "-m", "repro.experiments.service", "run",
+                   "--demo", str(args.points), "--demo-ops", str(args.demo_ops),
+                   "--store", str(store_root), "--workers", "1"]
+        child = subprocess.Popen(command, env=env, start_new_session=True,
+                                 stdout=subprocess.DEVNULL,
+                                 stderr=subprocess.DEVNULL)
+        journal_path = store_root / "journal.jsonl"
+        deadline = time.monotonic() + 120.0
+        completed = 0
+        while child.poll() is None and time.monotonic() < deadline:
+            completed = _count_completed(journal_path)
+            if 1 <= completed < len(points):
+                break
+            time.sleep(0.003)
+        killed = False
+        if child.poll() is None and 1 <= completed < len(points):
+            os.killpg(child.pid, signal.SIGKILL)
+            killed = True
+        child.wait()
+        if not killed:
+            print(f"round {round_index}: sweep finished before the kill "
+                  f"window; retrying with a fresh store")
+            continue
+
+        resumed = run_resilient_sweep(points, store_root=store_root,
+                                      workers=args.workers)
+        service = resumed["service"]
+        identical = resumed["simulated_sha256"] == want
+        reused = service["cache_hits"]
+        print(f"kill-resume smoke: killed after {completed}/{len(points)} "
+              f"points, resume reused {reused} cached point(s), "
+              f"journal_corrupt_lines={service['journal_corrupt_lines']}")
+        print(f"  straight-line sha {want}")
+        print(f"  resumed       sha {resumed['simulated_sha256']} "
+              f"({'identical' if identical else 'DIVERGED'})")
+        if not identical:
+            return 1
+        if reused < completed:
+            print(f"  ERROR: resume reused {reused} < {completed} journaled "
+                  f"completions")
+            return 1
+        return 0
+    print("kill-resume smoke: never caught the sweep mid-flight "
+          f"after {args.rounds} rounds")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.service",
+        description="Durable, fault-tolerant experiment service")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a sweep grid on the service")
+    run_parser.add_argument("--points", type=str, default=None,
+                            help="JSON file with a list of SweepPoint objects")
+    run_parser.add_argument("--demo", type=int, default=8, metavar="N",
+                            help="use the built-in N-point demo grid "
+                                 "(default when --points is absent)")
+    run_parser.add_argument("--demo-ops", type=int, default=8000,
+                            help="memory operations per demo point")
+    run_parser.add_argument("--store", type=str, default=None,
+                            help="result-store root (enables journal + cache)")
+    run_parser.add_argument("--workers", type=int, default=None)
+    run_parser.add_argument("--timeout", type=float, default=None,
+                            help="per-job wall-clock timeout in seconds")
+    run_parser.add_argument("--retries", type=int, default=2)
+    run_parser.add_argument("--backoff", type=float, default=0.25,
+                            help="base retry backoff (doubles per attempt)")
+    run_parser.add_argument("--base-seed", type=int, default=0)
+    run_parser.add_argument("--fault-plan", type=str, default=None,
+                            help="JSON FaultPlan to inject (testing)")
+    run_parser.add_argument("--json", type=str, default=None,
+                            help="write the full sweep digest to PATH")
+    run_parser.set_defaults(func=_cmd_run)
+
+    status_parser = sub.add_parser("status", help="inspect a service store")
+    status_parser.add_argument("--store", type=str, required=True)
+    status_parser.set_defaults(func=_cmd_status)
+
+    smoke = sub.add_parser("kill-resume-smoke",
+                           help="SIGKILL a sweep mid-flight, resume, compare")
+    smoke.add_argument("--store", type=str, default=None)
+    smoke.add_argument("--points", type=int, default=8)
+    smoke.add_argument("--demo-ops", type=int, default=8000)
+    smoke.add_argument("--workers", type=int, default=None)
+    smoke.add_argument("--rounds", type=int, default=3,
+                       help="attempts to catch the sweep mid-flight")
+    smoke.set_defaults(func=_cmd_kill_resume_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

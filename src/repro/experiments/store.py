@@ -1,0 +1,193 @@
+"""Durable artefacts of the experiment service: journal + result store.
+
+Two small persistence primitives back the fault-tolerant experiment
+service (:mod:`repro.experiments.service`):
+
+* :class:`Journal` — an append-only JSONL work log.  Every scheduling
+  decision and job state transition is appended (flushed and fsynced) as
+  one JSON object per line, so a host killed mid-sweep leaves a prefix of
+  the log plus at most one truncated line.  :meth:`Journal.replay`
+  tolerates exactly that: undecodable lines are counted and skipped,
+  never fatal — a SIGKILL mid-append must not poison the resume.
+
+* :class:`ResultStore` — a content-addressed store mapping
+  ``sha256(canonical-JSON of the job identity)`` to the job's completed
+  report digest.  Writes are atomic (temp file + ``os.replace`` in the
+  same directory), so a reader never observes a half-written object; a
+  corrupt object (torn by an unclean shutdown of an older kernel, manual
+  truncation, bit rot) is quarantined aside and treated as a miss, so the
+  point is simply recomputed.
+
+Both are deliberately dependency-free (stdlib only) and schema-light:
+the store payload carries the digest verbatim, and because the job key
+hashes the *configuration* (point + base seed + code-visible schema tag),
+re-running any sweep, figure or parity slice reuses every already
+computed point byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Bumped when the digest layout changes incompatibly, so stale objects
+#: miss instead of resurfacing under a new code version.
+STORE_SCHEMA = "result_store/v1"
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace.
+
+    The content-addressing and digest-fingerprint primitives both hash
+    this encoding, so two structurally equal values always produce the
+    same key regardless of dict insertion order or tuple-vs-list origin
+    (``json.dumps`` serialises tuples as arrays).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(identity: object) -> str:
+    """The content address of a job: sha256 over the canonical identity."""
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed result store: ``key -> completed job digest``.
+
+    Layout under ``root``::
+
+        objects/<key[:2]>/<key>.json     one JSON object per result
+        journal.jsonl                    the service's work log (see Journal)
+
+    ``get`` returns the stored digest payload or ``None``; a file that
+    exists but does not parse is renamed to ``<name>.corrupt`` (counted in
+    :attr:`corrupt_objects`) so the slot can be rewritten by a recompute.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_objects = 0
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self._object_path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload.get("schema") != STORE_SCHEMA or "digest" not in payload:
+                raise ValueError("unrecognised store object layout")
+        except (ValueError, AttributeError):
+            # Quarantine the unreadable object so a recompute can land.
+            self.corrupt_objects += 1
+            self.misses += 1
+            try:
+                os.replace(path, path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, digest: Dict[str, object],
+            meta: Optional[Dict[str, object]] = None) -> Path:
+        """Atomically persist ``digest`` under ``key`` (last writer wins)."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": STORE_SCHEMA, "key": key,
+                   "meta": meta or {}, "digest": digest}
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)  # atomic within a directory
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._object_path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt_objects": self.corrupt_objects,
+                "stored_objects": sum(1 for _ in self.keys())}
+
+
+class Journal:
+    """Append-only JSONL work log with crash-tolerant replay.
+
+    ``append`` writes one JSON object per line, flushing and fsyncing so
+    the log survives a SIGKILL of the service host with at most the final
+    line truncated.  ``replay`` yields every decodable record and counts
+    the rest — a torn tail is expected debris of the crash the journal
+    exists to recover from, never an error.
+    """
+
+    def __init__(self, path: os.PathLike, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+
+    def append(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(canonical_json(record) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def replay(self) -> Tuple[List[Dict[str, object]], int]:
+        """Every decodable record in order, plus the corrupt-line count."""
+        records: List[Dict[str, object]] = []
+        corrupt = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        corrupt += 1
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+                    else:
+                        corrupt += 1
+        except OSError:
+            return [], 0
+        return records, corrupt
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -21,6 +21,13 @@ Determinism rules (the part that makes host parallelism safe):
 
 ``tests/test_fast_engine.py`` and the perf smoke gate assert the
 workers=1 vs workers=N digests are identical.
+
+Execution is delegated to the fault-tolerant experiment service
+(:mod:`repro.experiments.service`): the default path is the classic
+ephemeral fan-out, and the same grid gains durability (content-addressed
+result caching, journaled kill-and-resume, per-job timeouts, bounded
+retries with backoff, quarantine of jobs that exhaust their retries)
+when run through :func:`repro.experiments.service.run_resilient_sweep`.
 """
 
 from __future__ import annotations
@@ -63,6 +70,50 @@ class SweepPoint:
     seed: Optional[int] = None
 
 
+def validate_points(points: Sequence[SweepPoint]) -> None:
+    """Fail fast on malformed grids, naming the offending point.
+
+    Checks run *before* any worker is spawned: unknown workload/scenario
+    names, unknown page-table kinds and unknown engines would otherwise
+    surface as a deep traceback inside a pool worker; duplicate point
+    names are outright dangerous — they silently collide in
+    :func:`point_seed` *and* in the content-addressed result store (two
+    different configs sharing a name still hash differently in the store,
+    but their crc32 seeds would collide; identical configs would
+    double-count), so both are rejected here.
+    """
+    from repro.pagetables.factory import registered_kinds
+    from repro.workloads.multiproc import MULTIPROCESS_SCENARIOS
+    from repro.workloads.registry import workload_names
+
+    seen: Dict[str, int] = {}
+    for index, point in enumerate(points):
+        if point.name in seen:
+            raise ValueError(
+                f"duplicate sweep point name {point.name!r} (points "
+                f"#{seen[point.name]} and #{index}): names seed the per-point "
+                f"RNG and key the result store, so they must be unique")
+        seen[point.name] = index
+        if point.cores > 1 or point.processes > 1:
+            if point.workload not in MULTIPROCESS_SCENARIOS:
+                raise ValueError(
+                    f"sweep point {point.name!r}: unknown multi-process "
+                    f"scenario {point.workload!r}; known: "
+                    f"{sorted(MULTIPROCESS_SCENARIOS)}")
+        elif point.workload not in workload_names():
+            raise ValueError(
+                f"sweep point {point.name!r}: unknown workload "
+                f"{point.workload!r}; known: {workload_names()}")
+        if point.page_table_kind not in registered_kinds():
+            raise ValueError(
+                f"sweep point {point.name!r}: unknown page-table kind "
+                f"{point.page_table_kind!r}; known: {registered_kinds()}")
+        if point.engine not in ("batch", "legacy"):
+            raise ValueError(
+                f"sweep point {point.name!r}: unknown engine "
+                f"{point.engine!r}; known: ['batch', 'legacy']")
+
+
 def point_seed(point: SweepPoint, base_seed: int = 0) -> int:
     """Deterministic per-point seed: stable hash of the point name.
 
@@ -84,6 +135,19 @@ def _build_config(point: SweepPoint) -> SystemConfig:
         config = config.with_page_table(PageTableConfig(kind=point.page_table_kind))
     return config.with_simulation(replace(config.simulation, engine=point.engine,
                                           os_mode=point.os_mode))
+
+
+#: Host timings below this are clock noise, not a measurement: a KIPS value
+#: divided out of a sub-resolution (or zero) denominator would be a denormal
+#: explosion, so both the per-point and the merged rate clamp through here.
+HOST_SECONDS_RESOLUTION = 1e-6
+
+
+def kips_value(instructions: int, host_seconds: float) -> float:
+    """Simulated kilo-instructions per host second, 0.0 below resolution."""
+    if host_seconds < HOST_SECONDS_RESOLUTION:
+        return 0.0
+    return round(instructions / 1000.0 / host_seconds, 1)
 
 
 def run_point(point: SweepPoint, base_seed: int = 0) -> Dict[str, object]:
@@ -124,7 +188,7 @@ def run_point(point: SweepPoint, base_seed: int = 0) -> Dict[str, object]:
         "l2_tlb_misses": report.l2_tlb_misses,
         "dram_accesses": report.dram_accesses,
         "host_seconds": host_seconds,
-        "kips": round(simulated / 1000.0 / host_seconds, 1) if host_seconds else 0.0,
+        "kips": kips_value(simulated, host_seconds),
     }
 
 
@@ -143,8 +207,7 @@ def merge_point_digests(digests: Sequence[Dict[str, object]]) -> Dict[str, objec
         "kernel_instructions": sum(d["kernel_instructions"] for d in digests),
         "page_faults": sum(d["page_faults"] for d in digests),
         "worker_seconds": round(total_host, 4),
-        "aggregate_kips": round(total_instructions / 1000.0 / total_host, 1)
-        if total_host else 0.0,
+        "aggregate_kips": kips_value(total_instructions, total_host),
     }
 
 
@@ -154,6 +217,19 @@ def simulated_digest(digests: Sequence[Dict[str, object]]) -> List[Dict[str, obj
     host_keys = ("host_seconds", "kips")
     return [{key: value for key, value in digest.items() if key not in host_keys}
             for digest in digests]
+
+
+def simulated_fingerprint(digests: Sequence[Dict[str, object]]) -> str:
+    """sha256 over the canonical JSON of the simulated digest slice.
+
+    One comparable string for "these runs computed the same simulation":
+    the byte-identity token the resume/fault-tolerance gates assert
+    between a faulted, killed-and-resumed, or cache-served sweep and a
+    fault-free ``workers=1`` straight-line run.
+    """
+    from repro.experiments.store import content_key
+
+    return content_key(simulated_digest(digests))
 
 
 def fan_out(worker, items: Sequence[object],
@@ -170,34 +246,59 @@ def fan_out(worker, items: Sequence[object],
     """
     if workers is None:
         workers = max(1, os.cpu_count() or 1)
-    if workers == 1:
+    # Never spin more pool processes than there are items, and run a
+    # single-item (or single-worker) fan-out inline: a 1-item list with
+    # workers=8 used to pay for a full pool it could not use.
+    workers = max(1, min(workers, len(items)))
+    if workers == 1 or len(items) <= 1:
         return [worker(item) for item in items]
     with multiprocessing.Pool(processes=workers) as pool:
         return pool.map(worker, items, chunksize=1)
 
 
 def run_sweep(points: Sequence[SweepPoint], workers: Optional[int] = None,
-              base_seed: int = 0) -> Dict[str, object]:
-    """Run every point and return the sweep digest.
+              base_seed: int = 0,
+              service: Optional[object] = None) -> Dict[str, object]:
+    """Run every point through the experiment service; return the digest.
 
     ``workers=1`` runs inline (no pool — the sequential wall-clock
     baseline); ``workers>1`` fans the grid over a ``multiprocessing`` pool.
     The default uses every host core.  Simulated statistics are identical
     for any worker count (see the module determinism rules).
+
+    Execution is delegated to an
+    :class:`~repro.experiments.service.ExperimentService` — by default an
+    ephemeral one (no store, no journal: exactly the classic fan-out), but
+    passing ``service`` (or using
+    :func:`~repro.experiments.service.run_resilient_sweep`) adds content-
+    addressed result caching, journaled resume, per-job timeouts and
+    retry/quarantine semantics without changing a single simulated
+    statistic.  The digest gains ``simulated_sha256`` (the byte-identity
+    fingerprint of the simulated slice), ``failed_points`` (quarantined
+    jobs) and a ``service`` counters section.
     """
+    from repro.experiments.service import ExperimentService, sweep_jobs
+
     if not points:
         raise ValueError("need at least one sweep point")
+    validate_points(points)
     if workers is None:
         workers = max(1, os.cpu_count() or 1)
+    if service is None:
+        service = ExperimentService(workers=workers)
     start = time.perf_counter()
-    results = fan_out(_worker, [(point, base_seed) for point in points],
-                      workers=workers)
+    outcome = service.execute(_worker, sweep_jobs(points, base_seed))
     wall_seconds = time.perf_counter() - start
+    results = [digest for digest in outcome["results"] if digest is not None]
     return {
-        "workers": workers,
+        "workers": service.workers,
         "host_cpus": os.cpu_count() or 1,
         "wall_seconds": round(wall_seconds, 4),
         "points": results,
         "grid": [asdict(point) for point in points],
         "merged": merge_point_digests(results),
+        "simulated_sha256": simulated_fingerprint(results),
+        "failed_points": outcome["failed_points"],
+        "service": outcome["counters"],
+        "job_details": outcome["job_details"],
     }

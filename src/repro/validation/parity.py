@@ -31,8 +31,9 @@ Three consumers:
 * ``tests/test_parity_matrix.py`` — an always-on tier-1 sampler over a
   seeded ~40-point subset of the lattice (kept well under 30 s);
 * ``python -m repro.validation.parity --full`` — the full matrix, fanned
-  across host processes with the sweep runner's
-  :func:`~repro.experiments.sweep.fan_out` workers;
+  across host processes by the fault-tolerant experiment service
+  (:mod:`repro.experiments.service`; ``--store DIR`` makes the run
+  resumable and caches every completed point content-addressed);
 * ``benchmarks/perf/parity_bench.py`` — records per-backend batch-vs-legacy
   speedups into ``BENCH_perf.json`` so the perf trajectory covers every
   design, not just radix.
@@ -379,22 +380,43 @@ def divergence_of(digest: Dict[str, object]) -> Optional[DivergenceRecord]:
 # --------------------------------------------------------------------- #
 # Matrix runner
 # --------------------------------------------------------------------- #
-def run_matrix(points: Sequence[ParityPoint],
-               workers: Optional[int] = None) -> Dict[str, object]:
-    """Run every point (fanning across host processes) and summarise.
+#: Content-address schema tag for parity jobs in the experiment service's
+#: result store (bump when the parity digest layout changes).
+PARITY_JOB_SCHEMA = "parity_point/v1"
 
-    Reuses the sweep runner's :func:`~repro.experiments.sweep.fan_out`
-    workers: points are picklable, each worker builds both systems itself,
-    and ``pool.map`` preserves order, so the summary is byte-identical for
-    any worker count.
+
+def parity_job_key(point: ParityPoint) -> str:
+    """The content address of a parity point in the result store."""
+    from repro.experiments.store import content_key
+
+    return content_key({"schema": PARITY_JOB_SCHEMA, "point": asdict(point)})
+
+
+def run_matrix(points: Sequence[ParityPoint],
+               workers: Optional[int] = None,
+               store_root: Optional[str] = None) -> Dict[str, object]:
+    """Run every point through the experiment service and summarise.
+
+    Execution rides the fault-tolerant experiment service
+    (:class:`~repro.experiments.service.ExperimentService`): points are
+    picklable, each worker builds both systems itself, and results are
+    merged in submission order, so the summary is byte-identical for any
+    worker count.  With ``store_root`` every completed point lands
+    content-addressed in a result store and a killed ``--full`` run
+    resumes from its journal, re-running only the missing points.
     """
-    from repro.experiments.sweep import fan_out
+    from repro.experiments.service import ExperimentService, Job
 
     if not points:
         raise ValueError("need at least one parity point")
+    jobs = [Job(index=index, name=point.name, key=parity_job_key(point),
+                item=point)
+            for index, point in enumerate(points)]
     start = time.perf_counter()
-    digests = fan_out(run_parity_point, list(points), workers=workers)
+    with ExperimentService(workers=workers, store=store_root) as service:
+        outcome = service.execute(run_parity_point, jobs)
     wall_seconds = time.perf_counter() - start
+    digests = [d for d in outcome["results"] if d is not None]
     divergences = [d["divergence"] for d in digests if d["divergence"] is not None]
     return {
         "schema": "parity_matrix/v1",
@@ -402,6 +424,7 @@ def run_matrix(points: Sequence[ParityPoint],
         "identical": sum(1 for d in digests if d["identical"]),
         "divergences": divergences,
         "wall_seconds": round(wall_seconds, 4),
+        "service": outcome["counters"],
         "results": digests,
     }
 
@@ -423,6 +446,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="sample selection seed (default 2025)")
     parser.add_argument("--workers", type=int, default=None,
                         help="host worker processes (default: all cores)")
+    parser.add_argument("--store", type=str, default=None, metavar="DIR",
+                        help="experiment-service result store: completed "
+                             "points are cached content-addressed and a "
+                             "killed run resumes from its journal")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="write the full summary as JSON to PATH")
     args = parser.parse_args(argv)
@@ -436,13 +463,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         points = sample_lattice(args.sample, args.seed)
         scope = f"sample of {len(points)}"
-    summary = run_matrix(points, workers=args.workers)
+    summary = run_matrix(points, workers=args.workers, store_root=args.store)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")
+    service = summary["service"]
+    cached = (f", {service['cache_hits']} cached" if service["cache_hits"]
+              else "")
     print(f"parity matrix: {summary['identical']}/{summary['points']} points "
-          f"identical in {summary['wall_seconds']:.1f}s ({scope})")
+          f"identical in {summary['wall_seconds']:.1f}s ({scope}{cached})")
     for raw in summary["divergences"]:
         print(f"  DIVERGENCE {DivergenceRecord(**raw)}")
     return 1 if summary["divergences"] else 0

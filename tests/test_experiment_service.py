@@ -1,0 +1,320 @@
+"""Fault-injection matrix for the durable experiment service.
+
+Every robustness guarantee of :mod:`repro.experiments.service` is
+exercised against a deterministic :class:`FaultPlan` and asserted via
+the ``simulated_sha256`` byte-identity fingerprint: a crashed, hung,
+flaky, killed-and-resumed or cache-served sweep must compute *exactly*
+the simulation a fault-free ``workers=1`` straight-line run computes.
+
+Also covers the satellite hardening: ``fan_out`` pool capping and
+single-item short-circuit, eager ``SweepPoint`` validation, the
+sub-resolution ``host_seconds`` division guards, and corruption recovery
+in both the journal (truncated line) and the object store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.common.addresses import MB
+from repro.experiments import sweep as sweep_module
+from repro.experiments.faultinject import FaultAction, FaultPlan, TransientFault
+from repro.experiments.service import (
+    demo_grid,
+    run_resilient_sweep,
+    sweep_job_key,
+)
+from repro.experiments.store import Journal, ResultStore, content_key
+from repro.experiments.sweep import (
+    SweepPoint,
+    fan_out,
+    kips_value,
+    merge_point_digests,
+    run_sweep,
+    validate_points,
+)
+
+
+def tiny_grid(count: int = 4) -> list:
+    return [SweepPoint(name=f"svc-{index}", workload="RND",
+                       workload_kwargs={"footprint_bytes": 1 * MB,
+                                        "memory_operations": 300,
+                                        "prefault": True, "seed": index})
+            for index in range(count)]
+
+
+@pytest.fixture(scope="module")
+def straight_line():
+    """The fault-free sequential baseline every faulted run must match."""
+    return run_sweep(tiny_grid(), workers=1)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: fan_out sizing
+# --------------------------------------------------------------------- #
+class TestFanOut:
+    def test_single_item_short_circuits_inline(self, monkeypatch):
+        def forbidden_pool(*_args, **_kwargs):
+            raise AssertionError("a 1-item fan-out must not spin a pool")
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "Pool",
+                            forbidden_pool)
+        assert fan_out(len, ["abc"], workers=8) == [3]
+
+    def test_pool_size_capped_at_item_count(self, monkeypatch):
+        seen = {}
+        real_pool = sweep_module.multiprocessing.Pool
+
+        def capturing_pool(processes=None):
+            seen["processes"] = processes
+            return real_pool(processes=processes)
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "Pool",
+                            capturing_pool)
+        assert fan_out(len, ["ab", "cde"], workers=8) == [2, 3]
+        assert seen["processes"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Satellite: eager grid validation
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_unknown_workload_names_the_point(self):
+        points = [SweepPoint(name="bad-wl", workload="NoSuchWorkload")]
+        with pytest.raises(ValueError, match="bad-wl.*NoSuchWorkload"):
+            validate_points(points)
+
+    def test_unknown_scenario_for_multicore_point(self):
+        points = [SweepPoint(name="bad-scenario", workload="RND", cores=2)]
+        with pytest.raises(ValueError, match="bad-scenario.*scenario"):
+            validate_points(points)
+
+    def test_unknown_page_table_kind(self):
+        points = [SweepPoint(name="bad-kind", workload="RND",
+                             page_table_kind="quantum")]
+        with pytest.raises(ValueError, match="bad-kind.*quantum"):
+            validate_points(points)
+
+    def test_unknown_engine(self):
+        points = [SweepPoint(name="bad-engine", workload="RND",
+                             engine="warp")]
+        with pytest.raises(ValueError, match="bad-engine.*warp"):
+            validate_points(points)
+
+    def test_duplicate_names_rejected(self):
+        points = [SweepPoint(name="twin", workload="RND"),
+                  SweepPoint(name="twin", workload="Bagel")]
+        with pytest.raises(ValueError, match="duplicate.*twin"):
+            validate_points(points)
+
+    def test_run_sweep_validates_before_spawning(self):
+        with pytest.raises(ValueError, match="NoSuchWorkload"):
+            run_sweep([SweepPoint(name="p", workload="NoSuchWorkload")],
+                      workers=4)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: sub-resolution host-seconds guards
+# --------------------------------------------------------------------- #
+class TestKipsGuards:
+    def test_kips_value_zero_below_resolution(self):
+        assert kips_value(1_000_000, 0.0) == 0.0
+        assert kips_value(1_000_000, 1e-9) == 0.0
+        assert kips_value(2_000_000, 2.0) == 1000.0
+
+    def test_merge_guards_denormal_total(self):
+        digests = [{"simulated_instructions": 1000, "kernel_instructions": 0,
+                    "page_faults": 0, "host_seconds": 5e-10}]
+        merged = merge_point_digests(digests)
+        assert merged["aggregate_kips"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Store + journal durability primitives
+# --------------------------------------------------------------------- #
+class TestStore:
+    def test_roundtrip_and_content_addressing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = content_key({"a": 1, "b": [1, 2]})
+        assert content_key({"b": (1, 2), "a": 1}) == key  # order/tuple-blind
+        assert store.get(key) is None
+        store.put(key, {"value": 42})
+        assert store.get(key)["digest"] == {"value": 42}
+        assert key in store and list(store.keys()) == [key]
+
+    def test_corrupt_object_quarantined_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = content_key("x")
+        path = store.put(key, {"value": 1})
+        path.write_text('{"schema": "result_store/v1", "dig')  # torn write
+        assert store.get(key) is None
+        assert store.corrupt_objects == 1
+        store.put(key, {"value": 2})  # recompute lands cleanly
+        assert store.get(key)["digest"] == {"value": 2}
+
+    def test_journal_replay_tolerates_truncated_tail(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"event": "a"})
+        journal.append({"event": "b"})
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"event": "c", "trunc')  # SIGKILL mid-append
+        records, corrupt = journal.replay()
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert corrupt == 1
+
+    def test_sweep_job_key_hashes_config_and_seed(self):
+        point = tiny_grid(1)[0]
+        assert sweep_job_key(point, 0) != sweep_job_key(point, 1)
+        renamed = SweepPoint(**{**point.__dict__, "name": "other"})
+        assert sweep_job_key(point, 0) != sweep_job_key(renamed, 0)
+
+
+# --------------------------------------------------------------------- #
+# The fault-injection matrix
+# --------------------------------------------------------------------- #
+class TestFaultMatrix:
+    def test_crash_on_point_k_recovers_bit_identical(self, tmp_path,
+                                                     straight_line):
+        """A worker crash (os._exit) on one point costs a retry, not the
+        sweep: the final digest matches the straight-line run exactly."""
+        points = tiny_grid()
+        plan = FaultPlan(actions=[FaultAction("svc-2", 1, "crash")])
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=2,
+                                     timeout=30.0, retries=2, backoff=0.01,
+                                     fault_plan=plan)
+        assert digest["service"]["crashes"] == 1
+        assert digest["service"]["retries"] == 1
+        assert digest["failed_points"] == []
+        assert digest["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_hang_is_timeout_killed_then_retried(self, tmp_path,
+                                                 straight_line):
+        points = tiny_grid()
+        plan = FaultPlan(actions=[FaultAction("svc-1", 1, "hang",
+                                              hang_seconds=30.0)])
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=2,
+                                     timeout=0.75, retries=2, backoff=0.01,
+                                     fault_plan=plan)
+        assert digest["service"]["timeouts"] == 1
+        assert digest["failed_points"] == []
+        assert digest["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_flaky_twice_then_pass_backoff_schedule(self, tmp_path,
+                                                    straight_line):
+        """Two transient failures retry on an exponential schedule
+        (base, 2*base) and the third attempt lands the real result."""
+        points = tiny_grid()
+        plan = FaultPlan(actions=[FaultAction("svc-0", 1, "flaky"),
+                                  FaultAction("svc-0", 2, "flaky")])
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=2,
+                                     timeout=30.0, retries=3, backoff=0.01,
+                                     fault_plan=plan)
+        assert digest["service"]["transient_failures"] == 2
+        assert digest["service"]["retries"] == 2
+        assert digest["job_details"]["svc-0"]["attempts"] == 3
+        assert digest["job_details"]["svc-0"]["backoff_schedule"] == [0.01, 0.02]
+        assert digest["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_exhausted_retries_quarantine_not_poison(self, tmp_path,
+                                                     straight_line):
+        """A job that fails every attempt is quarantined with its
+        traceback in the digest; the rest of the sweep completes, and a
+        later fault-free rerun heals the hole from the cache + recompute."""
+        points = tiny_grid()
+        plan = FaultPlan(actions=[FaultAction("svc-3", attempt, "flaky")
+                                  for attempt in (1, 2, 3, 4, 5)])
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=2,
+                                     timeout=30.0, retries=1, backoff=0.01,
+                                     fault_plan=plan)
+        assert digest["service"]["quarantined"] == 1
+        assert len(digest["points"]) == len(points) - 1
+        assert digest["merged"]["points"] == len(points) - 1
+        [failed] = digest["failed_points"]
+        assert failed["name"] == "svc-3"
+        assert failed["attempts"] == 2
+        assert failed["reason"] == "transient"
+        assert "TransientFault" in failed["traceback"]
+        # Healing rerun: the three completed points come from the cache,
+        # only the quarantined one is recomputed — and identity holds.
+        healed = run_resilient_sweep(points, store_root=tmp_path, workers=2)
+        assert healed["service"]["cache_hits"] == len(points) - 1
+        assert healed["service"]["executed"] == 1
+        assert healed["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_partial_run_then_full_run_reuses_cache(self, tmp_path,
+                                                    straight_line):
+        points = tiny_grid()
+        run_resilient_sweep(points[:2], store_root=tmp_path, workers=1)
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=1)
+        assert digest["service"]["cache_hits"] == 2
+        assert digest["service"]["cache_misses"] == 2
+        assert digest["service"]["cache_hit_rate"] == 0.5
+        assert digest["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_corrupt_store_object_recomputed(self, tmp_path, straight_line):
+        points = tiny_grid()
+        first = run_resilient_sweep(points, store_root=tmp_path, workers=1)
+        store = ResultStore(tmp_path)
+        key = sweep_job_key(points[1], 0)
+        store._object_path(key).write_text("not json at all")
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=1)
+        assert digest["service"]["cache_hits"] == len(points) - 1
+        assert digest["service"]["executed"] == 1
+        assert digest["service"]["store_corrupt_objects"] == 1
+        assert digest["simulated_sha256"] == first["simulated_sha256"]
+        assert digest["simulated_sha256"] == straight_line["simulated_sha256"]
+
+    def test_seeded_plan_is_deterministic_and_distinct(self):
+        names = [point.name for point in demo_grid(8)]
+        plan_a = FaultPlan.seeded(names, seed=11, crashes=1, hangs=1, flaky=1)
+        plan_b = FaultPlan.seeded(names, seed=11, crashes=1, hangs=1, flaky=1)
+        assert plan_a.actions == plan_b.actions
+        victims = {action.job for action in plan_a.actions}
+        assert len(victims) == 3
+        assert plan_a.counts() == {"crash": 1, "hang": 1, "flaky": 1}
+        rehydrated = FaultPlan.from_json(plan_a.to_json())
+        assert rehydrated.actions == plan_a.actions
+
+
+# --------------------------------------------------------------------- #
+# Kill-and-resume (the CI smoke, exercised through the CLI)
+# --------------------------------------------------------------------- #
+class TestKillResume:
+    def test_sigkill_mid_sweep_resumes_bit_identical(self, tmp_path):
+        """SIGKILL the service host mid-sweep, resume from the journal +
+        store, and finish with a digest byte-identical to straight-line
+        (the `kill-resume-smoke` CLI asserts exactly this and exits 0)."""
+        src_root = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.service",
+             "kill-resume-smoke", "--store", str(tmp_path / "store"),
+             "--points", "5", "--demo-ops", "4000", "--workers", "1"],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, (
+            f"kill-resume smoke failed:\n{result.stdout}\n{result.stderr}")
+        assert "identical" in result.stdout
+
+    def test_resume_counters_surface_interrupted_jobs(self, tmp_path):
+        """A journal with an attempt_started but no completion is counted
+        as an interrupted job on the next run."""
+        points = tiny_grid(2)
+        store = ResultStore(tmp_path)
+        journal = Journal(store.journal_path)
+        journal.append({"event": "attempt_started",
+                        "key": sweep_job_key(points[0], 0),
+                        "name": points[0].name, "attempt": 1})
+        journal.close()
+        digest = run_resilient_sweep(points, store_root=tmp_path, workers=1)
+        assert digest["service"]["resumed_interrupted"] == 1
+        assert len(digest["points"]) == 2
