@@ -304,6 +304,41 @@ def test_backend_parity_digest_covers_the_zoo():
             f"({row['speedup']}x)")
 
 
+def test_fuzz_campaign_digest_is_healthy():
+    """The recorded fixed-seed fuzz campaign must attest a healthy build.
+
+    The ``fuzz`` section (written by ``benchmarks/perf/fuzz_bench.py``)
+    records a fixed-seed scenario-fuzzer campaign run at two worker counts:
+    the summaries must have been identical (the campaign is a pure function
+    of the seed), a healthy build must have found zero divergences and zero
+    crashes, no scenario may have been quarantined, the generator must have
+    actually explored (non-zero coverage on both maps), and the banked
+    regression corpus must have replayed clean.
+    """
+    recorded = recorded_bench()
+    digest = recorded.get("fuzz")
+    if digest is None:
+        pytest.skip("no fuzz digest recorded yet; run "
+                    "benchmarks/perf/fuzz_bench.py")
+    assert digest["deterministic_across_workers"] is True, (
+        "the recorded fixed-seed campaign differed between worker counts — "
+        "fuzz results are no longer reproducible from the seed")
+    assert digest["divergences"] == 0 and digest["crashes"] == 0, (
+        "the recorded campaign caught real divergences; shrink and fix them "
+        "(python -m repro.validation.fuzz), then re-record")
+    assert digest["quarantined"] == 0
+    assert digest["identical"] == digest["scenarios"] >= 10
+    coverage = digest["coverage"]
+    assert coverage["op_pair_backend"] > 0 and coverage["op_axis"] > 0, (
+        "the recorded campaign explored no coverage — generator regression")
+    assert coverage["op_pair_backend"] <= coverage["op_pair_backend_space"]
+    corpus = digest["corpus"]
+    assert corpus["failures"] == 0, (
+        "banked reproducers re-diverged at record time — a fixed bug is back")
+    assert corpus["skipped"] == 0, "committed corpus entries must all load"
+    assert corpus["entries"] >= 1
+
+
 def test_vectorized_generation_active():
     """With numpy installed, the vectorised generators must be the default."""
     if not numpy_available():

@@ -34,6 +34,23 @@ class DeterministicRNG:
         """
         return DeterministicRNG((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
 
+    def snapshot(self) -> List[object]:
+        """The exact position of this RNG's stream, as a JSON-able value.
+
+        The snapshot captures the full Mersenne-Twister state (not just the
+        seed), so :meth:`restore` resumes the stream mid-flight: the fuzzer
+        stores the generator cursor alongside each reproducer, and simulator
+        checkpoint/restore can serialise every component RNG losslessly.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return [version, list(internal), gauss_next]
+
+    def restore(self, state: Sequence[object]) -> None:
+        """Rewind this RNG to a :meth:`snapshot` (accepts the JSON round-trip
+        of one: the internal state may arrive as a list)."""
+        version, internal, gauss_next = state
+        self._random.setstate((version, tuple(internal), gauss_next))
+
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` inclusive."""
         return self._random.randint(low, high)

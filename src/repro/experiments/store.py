@@ -54,6 +54,25 @@ def content_key(identity: object) -> str:
     return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
 
 
+def atomic_write_json(path: os.PathLike, value: object, *,
+                      indent: Optional[int] = 2) -> Path:
+    """Write ``value`` as JSON to ``path`` atomically (tmp + ``os.replace``).
+
+    The write-crash contract every durable artefact in this package relies
+    on: a reader either sees the previous complete file or the new complete
+    file, never a torn one.  The temp file lives in the destination
+    directory so the replace stays within one filesystem.  Used by the
+    result store and by the fuzzer's corpus banking — a fuzz job SIGKILLed
+    mid-bank must not leave a half-written reproducer for tier-1 to trip on.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(json.dumps(value, indent=indent, sort_keys=True) + "\n")
+    os.replace(tmp, path)  # atomic within a directory
+    return path
+
+
 class ResultStore:
     """Content-addressed result store: ``key -> completed job digest``.
 
@@ -113,10 +132,7 @@ class ResultStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": STORE_SCHEMA, "key": key,
                    "meta": meta or {}, "digest": digest}
-        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)  # atomic within a directory
-        return path
+        return atomic_write_json(path, payload)
 
     def __contains__(self, key: str) -> bool:
         return self._object_path(key).exists()

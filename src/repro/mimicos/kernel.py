@@ -28,7 +28,7 @@ from repro.mimicos.buddy import ORDER_2M, BuddyAllocator
 from repro.mimicos.fault import PageFaultHandler, PageFaultResult
 from repro.mimicos.fragmentation import FragmentationController
 from repro.mimicos.hugetlbfs import HugeTLBFS
-from repro.mimicos.khugepaged import Khugepaged
+from repro.mimicos.khugepaged import CollapseResult, Khugepaged
 from repro.mimicos.ops import KernelAddressSpace, KernelRoutineTrace
 from repro.mimicos.page_cache import PageCache
 from repro.mimicos.process import Process
@@ -144,10 +144,18 @@ class MimicOS:
         return process
 
     def mmap(self, process: Process, size: int, kind: VMAKind = VMAKind.ANONYMOUS,
-             allow_1g_pages: bool = False, name: str = "",
-             populate_page_cache: bool = False) -> VirtualMemoryArea:
-        """``mmap()`` system call: create a VMA (and register it with Midgard)."""
-        vma = process.mmap(size, kind=kind, allow_1g_pages=allow_1g_pages, name=name)
+             fixed_address: Optional[int] = None, allow_1g_pages: bool = False,
+             name: str = "", populate_page_cache: bool = False) -> VirtualMemoryArea:
+        """``mmap()`` system call: create a VMA (and register it with Midgard).
+
+        ``fixed_address`` is MAP_FIXED: place the VMA at exactly that address
+        (the only way a freed VA range is ever reused — the default allocator
+        is bump-only).  The munmap→mmap-same-range sequence this enables is a
+        classic stale-translation hazard, which is exactly why the fuzzer's
+        ``remap`` kernel op uses it.
+        """
+        vma = process.mmap(size, kind=kind, fixed_address=fixed_address,
+                           allow_1g_pages=allow_1g_pages, name=name)
         self.counters.add("mmap_calls")
         page_table = process.page_table
         if page_table is not None and hasattr(page_table, "register_vma"):
@@ -272,6 +280,63 @@ class MimicOS:
         if collapse.trace is not None and collapse.trace.ops:
             trace.extend(collapse.trace)
         self.counters.add("khugepaged_runs")
+
+    # ------------------------------------------------------------------ #
+    # On-demand kernel ops (the fuzzer's injection surface)
+    # ------------------------------------------------------------------ #
+    def run_khugepaged(self, max_regions: Optional[int] = None) -> CollapseResult:
+        """Run one khugepaged pass now, outside the fault-driven cadence.
+
+        This is the "THP collapse" kernel op of the scenario fuzzer: it scans
+        (up to ``max_regions``) hinted regions across *every* process exactly
+        like the periodic pass, but charges no trace — the op is injected
+        between instructions, not inside a fault, so it must not perturb any
+        fault's latency accounting.  The periodic fault counter is left
+        untouched so injecting a pass never shifts the background cadence.
+        """
+        page_tables = {pid: process.page_table
+                       for pid, process in self.processes.items()}
+        result = self.khugepaged.scan(page_tables, max_regions=max_regions)
+        self.counters.add("khugepaged_runs")
+        return result
+
+    def reclaim_cold_pages(self, count: int, now_cycles: int = 0) -> int:
+        """Forcibly swap out up to ``count`` coldest resident mappings.
+
+        The "swap pressure" kernel op of the scenario fuzzer: a kswapd pass
+        that ignores the watermark, so reclaim/swap interactions are testable
+        without configuring the whole system into memory pressure.  Follows
+        the same discipline as :meth:`_maybe_reclaim` — oldest first, swap
+        out every 4 KB subpage, drop the translation, broadcast the shootdown,
+        release the frame — and returns the number of mappings reclaimed.
+        """
+        trace = KernelRoutineTrace("forced_reclaim")
+        reclaimed = 0
+        while (reclaimed < count and self._resident
+               and self.swap.free_slots > 0):
+            (pid, virtual_base), (physical, size, from_buddy) = \
+                self._resident.popitem(last=False)
+            process = self.processes.get(pid)
+            if process is None or process.page_table is None:
+                continue
+            if process.page_table.lookup(virtual_base) is None:
+                continue  # already unmapped behind the residency list's back
+            pages = size // PAGE_SIZE_4K
+            swapped = 0
+            for index in range(pages):
+                if self.swap.free_slots <= 0:
+                    break
+                self.swap.swap_out(pid, page_number(virtual_base) + index,
+                                   now_cycles, trace)
+                swapped += 1
+            process.page_table.remove(virtual_base, trace)
+            self.tlb_shootdown(pid, virtual_base)
+            if from_buddy:
+                self._release_frame(pid, virtual_base, physical)
+            self.counters.add("reclaimed_pages", swapped)
+            self.counters.add("forced_reclaims")
+            reclaimed += 1
+        return reclaimed
 
     def _maybe_reclaim(self, now_cycles: int, result: PageFaultResult,
                        faulting_pid: int = -1) -> None:

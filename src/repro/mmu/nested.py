@@ -92,11 +92,23 @@ class _NestedTLB:
         self._lru[vpn] = self._clock
 
     def invalidate(self, guest_virtual: int) -> bool:
-        """Drop the entry filled for ``guest_virtual``; True if one existed."""
-        vpn = guest_virtual // PAGE_SIZE_4K
-        if self._store.pop(vpn, None) is None:
+        """Drop every entry whose combined page covers ``guest_virtual``.
+
+        Entries are keyed by the *faulting* 4 KB VPN, so one combined 2 MB
+        translation can occupy many slots — one per subpage that walked.  A
+        shootdown for any address inside the page must kill them all: a
+        guest that reclaims a huge page invalidates its base address once,
+        and leaving the sibling-keyed copies alive would keep serving the
+        dead translation (the scenario fuzzer caught exactly that).
+        """
+        victims = [vpn for vpn, (_host, page_size) in self._store.items()
+                   if (vpn * PAGE_SIZE_4K) // page_size * page_size
+                   <= guest_virtual < (vpn * PAGE_SIZE_4K) // page_size * page_size + page_size]
+        if not victims:
             return False
-        self._lru.pop(vpn, None)
+        for vpn in victims:
+            del self._store[vpn]
+            self._lru.pop(vpn, None)
         self.version += 1
         return True
 

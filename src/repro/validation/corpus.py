@@ -1,0 +1,96 @@
+"""The fuzzer's regression corpus: banked minimal reproducers.
+
+Every divergence the scenario fuzzer (:mod:`repro.validation.fuzz`) finds is
+shrunk to a minimal reproducer and banked here as one JSON file under
+``tests/fuzz_corpus/``.  A tier-1 test replays the whole corpus on every
+run, so each fuzzer catch becomes a permanent regression test — the same
+promotion path riescue-style directed-random testing uses.
+
+Durability contract (the fuzz job may be SIGKILLed mid-bank):
+
+* writes go through :func:`repro.experiments.store.atomic_write_json`
+  (tmp + ``os.replace``), so a reader never sees a torn entry;
+* :func:`load_corpus` *skips* a truncated/corrupt/alien JSON file with a
+  :class:`CorpusWarning` instead of raising — a damaged corpus entry must
+  degrade coverage, never fail tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.store import atomic_write_json, content_key
+
+#: Bumped when the reproducer layout changes incompatibly; entries with a
+#: different schema tag are skipped (with a warning) rather than misread.
+CORPUS_SCHEMA = "fuzz_repro/v1"
+
+#: The banked corpus replayed by tier-1 (``tests/fuzz_corpus/``).
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+class CorpusWarning(UserWarning):
+    """A corpus entry was skipped (corrupt, truncated, or wrong schema)."""
+
+
+def entry_name(entry: Dict[str, object]) -> str:
+    """Stable filename stem for an entry: readable prefix + content hash.
+
+    Hashing the *scenario* (not the whole entry) means re-finding the same
+    minimal reproducer — possibly with different provenance metadata —
+    overwrites the old file instead of accumulating duplicates.
+    """
+    scenario = entry["scenario"]
+    ops = scenario.get("ops", [])
+    label = "-".join(dict.fromkeys(op["op"] for op in ops)) or "noop"
+    return f"{label}-{content_key(scenario)[:12]}"
+
+
+def save_entry(entry: Dict[str, object],
+               corpus_dir: Optional[Path] = None) -> Path:
+    """Atomically bank ``entry``; returns the path written."""
+    directory = Path(corpus_dir) if corpus_dir is not None else DEFAULT_CORPUS_DIR
+    entry = dict(entry)
+    entry.setdefault("schema", CORPUS_SCHEMA)
+    return atomic_write_json(directory / f"{entry_name(entry)}.json", entry)
+
+
+def load_entry(path: Path) -> Dict[str, object]:
+    """Load one reproducer, validating the schema tag (raises on damage).
+
+    The strict single-file loader backs ``parity --repro`` and the tests
+    that demand a specific entry; the corpus-wide sweep below is the
+    tolerant one.
+    """
+    entry = json.loads(Path(path).read_text())
+    if not isinstance(entry, dict) or entry.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(f"{path}: not a {CORPUS_SCHEMA} corpus entry")
+    if "scenario" not in entry:
+        raise ValueError(f"{path}: corpus entry has no scenario")
+    return entry
+
+
+def load_corpus(corpus_dir: Optional[Path] = None
+                ) -> Tuple[List[Tuple[Path, Dict[str, object]]], int]:
+    """Every readable corpus entry in filename order, plus the skip count.
+
+    Unreadable files — torn by a killed fuzz job, hand-truncated, or written
+    by a future schema — produce a :class:`CorpusWarning` and are skipped:
+    tier-1 replay must never crash on corpus damage, only lose the entry.
+    """
+    directory = Path(corpus_dir) if corpus_dir is not None else DEFAULT_CORPUS_DIR
+    entries: List[Tuple[Path, Dict[str, object]]] = []
+    skipped = 0
+    if not directory.is_dir():
+        return entries, skipped
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entries.append((path, load_entry(path)))
+        except (ValueError, OSError) as error:
+            skipped += 1
+            warnings.warn(f"skipping corpus entry {path.name}: {error}",
+                          CorpusWarning, stacklevel=2)
+    return entries, skipped

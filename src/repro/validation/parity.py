@@ -452,7 +452,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "killed run resumes from its journal")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="write the full summary as JSON to PATH")
+    parser.add_argument("--repro", type=str, default=None, metavar="FILE",
+                        help="replay one banked fuzz-corpus reproducer with a "
+                             "verbose field-by-field diff and exit")
     args = parser.parse_args(argv)
+
+    if args.repro:
+        # Shares the fuzzer's oracle/replay path (the exact code the shrinker
+        # verified the entry with), so a repro never drifts from the fuzzer.
+        from repro.validation import corpus
+        from repro.validation.fuzz import format_replay, replay_entry
+
+        entry = corpus.load_entry(args.repro)
+        digest = replay_entry(entry)
+        print(format_replay(entry, digest))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(digest, handle, indent=2)
+                handle.write("\n")
+        return 0 if digest["outcome"] == "identical" else 1
 
     if args.virtualized:
         points = virtualized_lattice()

@@ -1,0 +1,160 @@
+"""Kernel-op schedule injection: run OS work at exact instruction offsets.
+
+The scenario fuzzer (:mod:`repro.validation.fuzz`) stresses the engines with
+random kernel-op interleavings — mmap/munmap, THP collapse, forced reclaim,
+page migration, host remaps under virtualization — injected *mid-workload*.
+For the differential oracle to be meaningful, an op scheduled at offset ``k``
+must run after exactly ``k`` executed instructions on **both** engines, even
+though the legacy engine pulls one :class:`Instruction` at a time while the
+batch engine consumes array chunks.
+
+:class:`ScheduledWorkload` achieves that with generator laziness: both entry
+points drain the *same* ``base.instructions()`` iterator (so the underlying
+address sequence and RNG draws are identical), and the batch packer cuts a
+chunk boundary at every op offset.  Because the generator only resumes after
+the engine has executed the previous chunk, the op fires with exactly the
+scheduled number of instructions retired — the same point at which the
+legacy loop, which resumes the generator between single instructions,
+applies it.  Ops scheduled past the end of the stream fire after the final
+instruction has executed (the engine's ``for`` loop resumes the generator
+once more before ``StopIteration``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core.instructions import Instruction, InstructionBatch
+from repro.mimicos.kernel import MimicOS
+from repro.mimicos.process import Process
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class KernelOpSpec:
+    """One scheduled kernel operation: what to do, when, with which knobs.
+
+    ``offset`` counts executed workload instructions: the op runs after
+    ``offset`` instructions have retired and before instruction ``offset``
+    issues.  All parameters are fixed at generation time — applying a spec
+    draws no randomness, so a schedule replays bit-identically.
+    """
+
+    op: str
+    offset: int
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"op": self.op, "offset": self.offset, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, object]) -> "KernelOpSpec":
+        return cls(op=str(raw["op"]), offset=int(raw["offset"]),
+                   params={str(k): int(v) for k, v in
+                           dict(raw.get("params", {})).items()})
+
+
+@dataclass(frozen=True)
+class OpSchedule:
+    """An ordered list of :class:`KernelOpSpec` (ordering by offset, stable)."""
+
+    ops: tuple
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def sorted_ops(self) -> List[KernelOpSpec]:
+        """Ops in firing order: by offset, generation order breaking ties."""
+        return sorted(self.ops, key=lambda spec: spec.offset)
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [spec.to_json() for spec in self.ops]
+
+    @classmethod
+    def from_json(cls, raw: List[Dict[str, object]]) -> "OpSchedule":
+        return cls(ops=tuple(KernelOpSpec.from_json(item) for item in raw))
+
+
+class ScheduledWorkload(Workload):
+    """A workload wrapper that fires scheduled kernel ops between instructions.
+
+    The executor (anything with an ``apply(spec, process)`` method — in practice the
+    fuzzer's :class:`~repro.validation.fuzz.KernelOpExecutor`) is bound after
+    the system is built, because ops need live kernel/MMU handles.  Both
+    iteration paths are built from ``base.instructions()``, so wrapping never
+    changes the instruction sequence — only *when* the kernel mutates state
+    relative to it, and that identically for both engines.
+    """
+
+    def __init__(self, base: Workload, schedule: OpSchedule):
+        self.base = base
+        self.schedule = schedule
+        self.executor: Optional[object] = None
+        self.name = f"{getattr(base, 'name', 'workload')}+ops{len(schedule)}"
+        self.category = getattr(base, "category", Workload.category)
+        self.prefault = getattr(base, "prefault", False)
+
+    def bind(self, executor: object) -> None:
+        """Attach the executor that will apply this run's kernel ops."""
+        self.executor = executor
+
+    # -- delegated address-space setup --------------------------------- #
+    def setup(self, kernel: MimicOS, process: Process) -> None:
+        self.base.setup(kernel, process)
+
+    def prefault_addresses(self, process: Process) -> Iterator[int]:
+        return self.base.prefault_addresses(process)
+
+    # -- scheduled iteration ------------------------------------------- #
+    def _pending(self) -> Deque[KernelOpSpec]:
+        return deque(self.schedule.sorted_ops())
+
+    def _apply(self, spec: KernelOpSpec, process: Process) -> None:
+        if self.executor is None:
+            raise RuntimeError(
+                "ScheduledWorkload has no executor bound; call bind() before running")
+        self.executor.apply(spec, process)
+
+    def instructions(self, process: Process) -> Iterator[Instruction]:
+        pending = self._pending()
+        executed = 0
+        for instruction in self.base.instructions(process):
+            while pending and pending[0].offset <= executed:
+                self._apply(pending.popleft(), process)
+            yield instruction
+            executed += 1
+        # Trailing ops: the engine resumes the generator once more after the
+        # last instruction retires, so these run post-stream, pre-report.
+        while pending:
+            self._apply(pending.popleft(), process)
+
+    def instruction_batches(self, process: Process,
+                            batch_size: int = 4096) -> Iterator[InstructionBatch]:
+        pending = self._pending()
+        batch = InstructionBatch()
+        in_batch = 0
+        executed = 0
+        for instruction in self.base.instructions(process):
+            if pending and pending[0].offset <= executed:
+                if in_batch:
+                    # Cut the chunk so everything before the op executes
+                    # first; the generator resumes (and fires the op) only
+                    # after the engine ran this chunk.
+                    yield batch
+                    batch = InstructionBatch()
+                    in_batch = 0
+                while pending and pending[0].offset <= executed:
+                    self._apply(pending.popleft(), process)
+            batch.append_instruction(instruction)
+            in_batch += 1
+            executed += 1
+            if in_batch >= batch_size:
+                yield batch
+                batch = InstructionBatch()
+                in_batch = 0
+        if in_batch:
+            yield batch
+        while pending:
+            self._apply(pending.popleft(), process)
