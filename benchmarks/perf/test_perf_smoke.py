@@ -352,3 +352,49 @@ def test_vectorized_generation_active():
             assert host["vectorized_generation"], (
                 "BENCH_perf.json was recorded without vectorised generation; "
                 "regenerate it with numpy installed")
+
+
+def test_server_soak_digest_attests_exactly_once():
+    """The recorded server soak must attest distributed-systems health.
+
+    The ``server`` section (written by ``benchmarks/perf/server_bench
+    .py``) records a soak campaign of >= 4 concurrent clients submitting
+    overlapping sweep slices to one experiment server under a seeded
+    network fault plan, with the server SIGKILLed and restarted
+    mid-campaign: at least one client connection must have been severed,
+    at least one heartbeat silenced into a lease reclaim, every job must
+    have completed exactly once across both server generations (journal
+    audit), the merged digest must be byte-identical to the fault-free
+    straight-line run, and the seeded sensitivity probe must show the
+    reclaim fired *because* of the silenced heartbeat (control run clean).
+    """
+    recorded = recorded_bench()
+    digest = recorded.get("server")
+    if digest is None:
+        pytest.skip("no server soak digest recorded yet; run "
+                    "benchmarks/perf/server_bench.py")
+    assert digest["clients"] >= 4, (
+        "the soak must multiplex at least 4 concurrent clients")
+    assert digest["digest_identical"] is True, (
+        "the soaked campaign's merged digest diverged from the fault-free "
+        "straight-line run — the server's determinism guarantee is broken")
+    assert digest["exactly_once"] is True, (
+        "a job completed more than once across server restarts — the "
+        "journal/resubmit recovery loop double-ran work")
+    assert digest["completions"] == digest["unique_keys"] >= digest["points"]
+    assert digest["server_kills"] >= 1, (
+        "the recorded soak never SIGKILLed the server mid-campaign")
+    assert digest["lease_reclaims"] >= 1, (
+        "the recorded soak never reclaimed a silent owner's lease")
+    assert digest["client_disconnects"] >= 1, (
+        "the recorded soak never severed a client connection")
+    injected = digest["injected"]
+    assert injected["drop_heartbeat"] >= 1 and injected["disconnect"] >= 1
+    sensitivity = digest["sensitivity"]
+    assert sensitivity["reclaim_fired"] is True, (
+        "sensitivity probe: silencing the victim's heartbeat did not force "
+        "a lease reclaim (or the control run reclaimed spuriously)")
+    assert sensitivity["converged"] is True, (
+        "sensitivity probe runs diverged from the straight-line digest")
+    assert digest["journal_corrupt_lines"] == 0
+    assert digest["errors"] == []

@@ -23,6 +23,17 @@ reason.
 
 Plans are plain dataclasses (picklable: they travel to worker processes)
 with a JSON round-trip for the ``--fault-plan`` CLI flag.
+
+The long-lived experiment server (:mod:`repro.experiments.server`) adds
+*network-shaped* failure modes on top: frames dropped or delayed in
+flight, connections cut mid-exchange, garbage bytes injected into the
+stream, and a leased worker that goes silent (heartbeats dropped) so the
+server's lease-reclaim machinery must fire.  Those are described by a
+:class:`NetworkFaultPlan` — same philosophy as :class:`FaultPlan`:
+deterministic (actions keyed on the client's cumulative send-frame index
+or on ``(job, attempt)``, victims drawn by a seeded ``random.Random``),
+picklable, JSON round-trippable — so every network failure mode is
+exercised by seeded tests rather than hoped-for.
 """
 
 from __future__ import annotations
@@ -147,4 +158,162 @@ class FaultPlan:
     def from_json(cls, text: str) -> "FaultPlan":
         raw = json.loads(text)
         return cls(actions=[FaultAction(**action) for action in raw["actions"]],
+                   seed=raw.get("seed"))
+
+
+# --------------------------------------------------------------------- #
+# Network fault injection (the experiment server's failure modes)
+# --------------------------------------------------------------------- #
+#: ``drop``/``delay``/``disconnect``/``garbage`` act on one side's
+#: outgoing frame stream; ``drop_heartbeat`` silences a leased worker's
+#: heartbeats (and stalls its work) so the server must reclaim the lease.
+NETWORK_FAULT_KINDS = ("drop", "delay", "disconnect", "garbage",
+                       "drop_heartbeat")
+
+#: Sides a frame-level action can apply to.
+NETWORK_SIDES = ("client", "server")
+
+#: How long a silenced (heartbeat-dropped) worker stalls before doing its
+#: work: far past any sane lease, so the reclaim machinery *must* fire.
+SILENT_OWNER_STALL_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class NetworkFaultAction:
+    """One injected network fault.
+
+    Frame-level kinds (``drop``/``delay``/``disconnect``/``garbage``)
+    fire when ``side`` is about to send its ``frame``-th frame (0-based,
+    cumulative across reconnects so a retried exchange never re-fires the
+    same fault) on a connection whose peer/self client id is ``client``
+    (``None`` matches any client — useful on single-client tests).
+
+    ``drop_heartbeat`` fires inside the leased worker process when
+    ``(job, attempt)`` match: the heartbeat thread never starts and the
+    work stalls for ``stall_seconds`` — a silent owner the server must
+    hang-detect and reclaim.
+    """
+
+    kind: str
+    side: str = "client"
+    client: Optional[str] = None
+    #: 0-based cumulative send-frame index the fault fires on.
+    frame: Optional[int] = None
+    #: ``drop_heartbeat``: the leased job's name.
+    job: Optional[str] = None
+    #: ``drop_heartbeat``: 1-based attempt the silence fires on.
+    attempt: int = 1
+    delay_seconds: float = 0.05
+    stall_seconds: float = SILENT_OWNER_STALL_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_FAULT_KINDS:
+            raise ValueError(f"unknown network fault kind {self.kind!r}; "
+                             f"known: {NETWORK_FAULT_KINDS}")
+        if self.side not in NETWORK_SIDES:
+            raise ValueError(f"unknown side {self.side!r}; "
+                             f"known: {NETWORK_SIDES}")
+        if self.kind == "drop_heartbeat":
+            if self.job is None:
+                raise ValueError("drop_heartbeat actions need a job name")
+            if self.attempt < 1:
+                raise ValueError("attempt numbers are 1-based")
+        elif self.frame is None:
+            raise ValueError(f"{self.kind} actions need a frame index")
+
+
+@dataclass
+class NetworkFaultPlan:
+    """A deterministic set of :class:`NetworkFaultAction`\\ s.
+
+    Consulted by the client transport and the server's per-connection
+    writer (frame-level kinds) and by the leased worker's heartbeat
+    thread (``drop_heartbeat``).  Determinism contract: the same plan
+    against the same traffic injects the same faults — frame indices are
+    cumulative per client id, heartbeat drops are keyed on
+    ``(job, attempt)``.
+    """
+
+    actions: List[NetworkFaultAction] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def send_actions(self, side: str, client: Optional[str],
+                     frame: int) -> List[NetworkFaultAction]:
+        """Frame-level actions firing when ``side`` sends frame ``frame``."""
+        return [action for action in self.actions
+                if action.kind != "drop_heartbeat"
+                and action.side == side
+                and action.frame == frame
+                and (action.client is None or client is None
+                     or action.client == client)]
+
+    def heartbeat_drop(self, job: str,
+                       attempt: int) -> Optional[NetworkFaultAction]:
+        """The silence action for ``(job, attempt)``, if any."""
+        for action in self.actions:
+            if (action.kind == "drop_heartbeat" and action.job == job
+                    and action.attempt == attempt):
+                return action
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in NETWORK_FAULT_KINDS}
+        for action in self.actions:
+            counts[action.kind] += 1
+        return counts
+
+    @classmethod
+    def seeded(cls, seed: int, clients: Sequence[str],
+               job_names: Sequence[str] = (),
+               drops: int = 1, delays: int = 1, disconnects: int = 1,
+               garbage: int = 1, heartbeat_drops: int = 1,
+               frame_window: int = 8,
+               delay_seconds: float = 0.02,
+               stall_seconds: float = SILENT_OWNER_STALL_SECONDS,
+               side: str = "client") -> "NetworkFaultPlan":
+        """A seeded plan spraying frame faults over the clients' early
+        frames plus ``heartbeat_drops`` silent-owner victims.
+
+        Victims and frame indices are drawn by a seeded ``random.Random``
+        over the *sorted* inputs, so the same ``(seed, clients, jobs)``
+        always yields the same plan.  Frame faults target frames
+        ``1..frame_window`` (never frame 0: the ``hello`` handshake stays
+        clean so client identity is established before faults fire).
+        """
+        rng = random.Random(seed)
+        actions: List[NetworkFaultAction] = []
+        client_pool = sorted(clients)
+        if not client_pool and (drops or delays or disconnects or garbage):
+            raise ValueError("frame-level faults need at least one client id")
+        for kind, count in (("drop", drops), ("delay", delays),
+                            ("disconnect", disconnects),
+                            ("garbage", garbage)):
+            for _ in range(count):
+                actions.append(NetworkFaultAction(
+                    kind, side=side,
+                    client=client_pool[rng.randrange(len(client_pool))],
+                    frame=1 + rng.randrange(frame_window),
+                    delay_seconds=delay_seconds))
+        if heartbeat_drops:
+            names = sorted(job_names)
+            if heartbeat_drops > len(names):
+                raise ValueError(f"plan wants {heartbeat_drops} silent owners "
+                                 f"but the grid has only {len(names)} jobs")
+            for victim in rng.sample(names, heartbeat_drops):
+                actions.append(NetworkFaultAction(
+                    "drop_heartbeat", job=victim, attempt=1,
+                    stall_seconds=stall_seconds))
+        return cls(actions=actions, seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed,
+                           "actions": [asdict(action)
+                                       for action in self.actions]},
+                          indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetworkFaultPlan":
+        raw = json.loads(text)
+        return cls(actions=[NetworkFaultAction(**action)
+                            for action in raw["actions"]],
                    seed=raw.get("seed"))

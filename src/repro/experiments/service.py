@@ -70,7 +70,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.addresses import MB
 from repro.experiments.faultinject import FaultPlan, TransientFault
-from repro.experiments.store import Journal, ResultStore, content_key
+from repro.experiments.store import (
+    Journal,
+    ResultStore,
+    active_journal_keys,
+    content_key,
+)
 from repro.experiments.sweep import (
     SweepPoint,
     fan_out,
@@ -464,16 +469,38 @@ def run_resilient_sweep(points: Sequence[SweepPoint],
                         retries: int = 2,
                         backoff: float = 0.25,
                         fault_plan: Optional[FaultPlan] = None,
-                        fsync: bool = True) -> Dict[str, object]:
+                        fsync: bool = True,
+                        server: Optional[str] = None) -> Dict[str, object]:
     """:func:`~repro.experiments.sweep.run_sweep` on a durable service.
 
     With ``store_root`` the sweep journals to ``store_root/journal.jsonl``
     and caches every completed point content-addressed under
     ``store_root/objects`` — killing the host mid-sweep and calling this
     again finishes the grid and yields the same ``simulated_sha256``.
+
+    With ``server`` (``host:port``) the sweep targets a running
+    :mod:`repro.experiments.server` instead: the server owns the store,
+    leases and retries, and this process is a thin protocol client.  The
+    two paths produce byte-identical ``simulated_sha256`` digests.
     """
     from repro.experiments.sweep import run_sweep
 
+    # Fail fast with errors that name the problem — a silently clamped
+    # worker count or a half-built store root costs a debugging session.
+    if not points:
+        raise ValueError("run_resilient_sweep needs a non-empty point list "
+                         "(got 0 sweep points)")
+    if workers is not None and workers <= 0:
+        raise ValueError(f"workers must be a positive integer, got {workers}")
+    if store_root is not None and Path(store_root).is_file():
+        raise ValueError(f"store root {os.fspath(store_root)!r} is an "
+                         f"existing file, not a directory")
+    if server is not None:
+        from repro.experiments.client import RemoteService
+
+        with RemoteService(server, "sweep_point", workers=workers) as service:
+            return run_sweep(points, workers=workers, base_seed=base_seed,
+                             service=service)
     with ExperimentService(workers=workers, store=store_root,
                            timeout=timeout, retries=retries, backoff=backoff,
                            fault_plan=fault_plan, fsync=fsync) as service:
@@ -510,7 +537,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                  workers=args.workers,
                                  base_seed=args.base_seed,
                                  timeout=args.timeout, retries=args.retries,
-                                 backoff=args.backoff, fault_plan=fault_plan)
+                                 backoff=args.backoff, fault_plan=fault_plan,
+                                 server=args.server)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(digest, handle, indent=2)
@@ -531,6 +559,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if digest["failed_points"] else 0
 
 
+def journal_progress(records: Sequence[Dict[str, object]]) -> Dict[str, int]:
+    """Per-key lifecycle rollup of a journal: where every job stands.
+
+    ``in_flight`` is every key that was submitted or started but never
+    reached a terminal event (completed / quarantined / cancelled) —
+    after a crash these are exactly the jobs a resume will re-run.
+    """
+    submitted: set = set()
+    started: set = set()
+    completed: set = set()
+    quarantined: set = set()
+    cancelled: set = set()
+    cache_hits: set = set()
+    for record in records:
+        key = record.get("key")
+        if key is None:
+            continue
+        event = record.get("event")
+        if event == "job_submitted":
+            submitted.add(key)
+        elif event == "attempt_started":
+            started.add(key)
+        elif event == "job_completed":
+            completed.add(key)
+        elif event == "job_quarantined":
+            quarantined.add(key)
+        elif event == "job_cancelled":
+            cancelled.add(key)
+        elif event == "cache_hit":
+            cache_hits.add(key)
+    seen = submitted | started
+    in_flight = seen - completed - quarantined - cancelled
+    return {
+        "keys": len(seen | completed | quarantined | cancelled | cache_hits),
+        "completed": len(completed),
+        "quarantined": len(quarantined),
+        "cancelled": len(cancelled),
+        "cache_hits": len(cache_hits),
+        "in_flight": len(in_flight),
+    }
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     journal = Journal(store.journal_path)
@@ -539,10 +609,35 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for record in records:
         event = str(record.get("event"))
         events[event] = events.get(event, 0) + 1
-    print(f"store {store.root}: {sum(1 for _ in store.keys())} result objects")
+    stats = store.stats()
+    progress = journal_progress(records)
+    print(f"store {store.root}: {stats['stored_objects']} result objects "
+          f"({stats['stored_bytes']} bytes, "
+          f"{stats['quarantined_objects']} quarantined .corrupt)")
     print(f"journal: {len(records)} records ({corrupt} corrupt lines)")
+    print(f"jobs: {progress['keys']} known | {progress['completed']} "
+          f"completed, {progress['quarantined']} quarantined, "
+          f"{progress['cancelled']} cancelled, {progress['in_flight']} "
+          f"in flight")
     for event in sorted(events):
         print(f"  {event}: {events[event]}")
+    return 1 if progress["quarantined"] else 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    protect = active_journal_keys(store.journal_path)
+    report = store.gc(args.budget_bytes, dry_run=args.dry_run,
+                      protect=protect)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"gc {store.root}: {report['bytes_before']} -> "
+          f"{report['bytes_after']} bytes (budget {report['budget_bytes']}), "
+          f"{verb} {len(report['evicted'])} object(s) "
+          f"[{report['evicted_bytes']} bytes], "
+          f"{len(report['protected_skipped'])} protected by the active "
+          f"journal segment")
+    if report["over_budget"]:
+        print("  still over budget: every remaining object is protected")
     return 0
 
 
@@ -645,11 +740,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             help="JSON FaultPlan to inject (testing)")
     run_parser.add_argument("--json", type=str, default=None,
                             help="write the full sweep digest to PATH")
+    run_parser.add_argument("--server", type=str, default=None,
+                            help="host:port of a running experiment server "
+                                 "(replaces the in-process service)")
     run_parser.set_defaults(func=_cmd_run)
 
     status_parser = sub.add_parser("status", help="inspect a service store")
     status_parser.add_argument("--store", type=str, required=True)
     status_parser.set_defaults(func=_cmd_status)
+
+    gc_parser = sub.add_parser("gc", help="evict LRU store objects to a "
+                                          "size budget")
+    gc_parser.add_argument("--store", type=str, required=True)
+    gc_parser.add_argument("--budget-bytes", type=int, required=True)
+    gc_parser.add_argument("--dry-run", action="store_true",
+                           help="report the eviction set without unlinking")
+    gc_parser.set_defaults(func=_cmd_gc)
 
     smoke = sub.add_parser("kill-resume-smoke",
                            help="SIGKILL a sweep mid-flight, resume, compare")

@@ -30,8 +30,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import warnings
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class JournalWarning(UserWarning):
+    """A journal anomaly worth an operator's attention, never a crash."""
 
 #: Bumped when the digest layout changes incompatibly, so stale objects
 #: miss instead of resurfacing under a new code version.
@@ -123,6 +129,13 @@ class ResultStore:
                 pass
             return None
         self.hits += 1
+        # Touch the object's atime so the GC's LRU ordering reflects real
+        # use even on relatime/noatime mounts (reads alone may not bump it).
+        try:
+            stat = path.stat()
+            os.utime(path, times=(time.time(), stat.st_mtime))
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, digest: Dict[str, object],
@@ -144,10 +157,112 @@ class ResultStore:
             for entry in sorted(shard.glob("*.json")):
                 yield entry.stem
 
+    def quarantined_paths(self) -> Iterator[Path]:
+        """Every ``*.corrupt`` object quarantined under this store."""
+        if not self.objects_dir.exists():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.corrupt"))
+
     def stats(self) -> Dict[str, int]:
+        """Operational counters, including on-disk quarantine debris.
+
+        ``corrupt_objects`` counts corruptions *this* handle observed;
+        ``quarantined_objects`` counts the ``*.corrupt`` files actually on
+        disk (possibly quarantined by earlier runs or other writers), so
+        corruption rates are visible to operators and to the GC without
+        re-reading every object.
+        """
+        total_bytes = 0
+        stored = 0
+        for shard in (sorted(self.objects_dir.iterdir())
+                      if self.objects_dir.exists() else ()):
+            if not shard.is_dir():
+                continue
+            for entry in shard.glob("*.json"):
+                stored += 1
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    pass
         return {"hits": self.hits, "misses": self.misses,
                 "corrupt_objects": self.corrupt_objects,
-                "stored_objects": sum(1 for _ in self.keys())}
+                "quarantined_objects": sum(1 for _ in self.quarantined_paths()),
+                "stored_objects": stored,
+                "stored_bytes": total_bytes}
+
+    # ----------------------------------------------------------------- #
+    # Eviction / GC
+    # ----------------------------------------------------------------- #
+    def gc(self, budget_bytes: int, dry_run: bool = False,
+           protect: Iterable[str] = ()) -> Dict[str, object]:
+        """Evict least-recently-used objects until the store fits ``budget_bytes``.
+
+        LRU order is by atime (``get`` explicitly touches objects it
+        serves, so the ordering is honest on relatime mounts).  Objects
+        whose key is in ``protect`` — typically
+        :func:`active_journal_keys` plus whatever the caller has in
+        flight — are never evicted, even over budget.  Quarantined
+        ``*.corrupt`` debris is always evictable (it carries no result)
+        and is reclaimed first.  ``dry_run`` computes the full eviction
+        set without unlinking anything.
+
+        Returns a report: bytes before/after, per-file eviction list,
+        and the protected keys that were skipped while over budget.
+        """
+        protected: Set[str] = set(protect)
+        candidates: List[Tuple[float, int, str, Path, bool]] = []
+        total = 0
+        for shard in (sorted(self.objects_dir.iterdir())
+                      if self.objects_dir.exists() else ()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                is_corrupt = entry.suffix == ".corrupt"
+                if entry.suffix != ".json" and not is_corrupt:
+                    continue
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                total += stat.st_size
+                # Corrupt debris sorts before every real object (atime 0).
+                atime = 0.0 if is_corrupt else stat.st_atime
+                candidates.append((atime, stat.st_size, entry.stem,
+                                   entry, is_corrupt))
+        candidates.sort(key=lambda row: (row[0], row[2]))
+
+        evicted: List[Dict[str, object]] = []
+        protected_skipped: List[str] = []
+        remaining = total
+        for atime, size, key, path, is_corrupt in candidates:
+            if remaining <= budget_bytes:
+                break
+            if not is_corrupt and key in protected:
+                protected_skipped.append(key)
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            evicted.append({"key": key, "bytes": size,
+                            "corrupt": is_corrupt,
+                            "atime": round(atime, 3)})
+            remaining -= size
+        return {
+            "budget_bytes": budget_bytes,
+            "dry_run": dry_run,
+            "scanned_objects": len(candidates),
+            "bytes_before": total,
+            "bytes_after": remaining,
+            "evicted": evicted,
+            "evicted_bytes": total - remaining,
+            "protected_skipped": sorted(set(protected_skipped)),
+            "over_budget": remaining > budget_bytes,
+        }
 
 
 class Journal:
@@ -175,7 +290,14 @@ class Journal:
             os.fsync(self._handle.fileno())
 
     def replay(self) -> Tuple[List[Dict[str, object]], int]:
-        """Every decodable record in order, plus the corrupt-line count."""
+        """Every decodable record in order, plus the corrupt-line count.
+
+        Duplicate ``job_completed`` records for one key — possible once
+        two writers (say, two servers) share a store root — are detected
+        and reported via :class:`JournalWarning`: a consumer tallying
+        completions would otherwise silently double-count.  The records
+        are still returned verbatim (replay never rewrites history).
+        """
         records: List[Dict[str, object]] = []
         corrupt = 0
         try:
@@ -195,6 +317,22 @@ class Journal:
                         corrupt += 1
         except OSError:
             return [], 0
+        completions: Dict[str, int] = {}
+        for record in records:
+            if record.get("event") == "job_completed":
+                key = str(record.get("key"))
+                completions[key] = completions.get(key, 0) + 1
+        duplicated = {key: count for key, count in completions.items()
+                      if count > 1}
+        if duplicated:
+            detail = ", ".join(f"{key[:16]}x{count}"
+                               for key, count in sorted(duplicated.items()))
+            warnings.warn(
+                f"journal {self.path} records duplicate completions for "
+                f"{len(duplicated)} key(s) ({detail}) — two writers are "
+                f"likely sharing this store root; completion counts from "
+                f"this journal would double-count", JournalWarning,
+                stacklevel=2)
         return records, corrupt
 
     def close(self) -> None:
@@ -207,3 +345,35 @@ class Journal:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+#: Journal events that open / close an activity segment: a sweep run
+#: (``run_started``/``run_completed``) or a server session
+#: (``server_started``/``server_drained``).
+_SEGMENT_BEGIN_EVENTS = ("run_started", "server_started")
+_SEGMENT_END_EVENTS = ("run_completed", "server_drained")
+
+
+def active_journal_keys(journal_path: os.PathLike) -> Set[str]:
+    """Keys referenced by the journal's *active* (unterminated) segment.
+
+    The GC must never evict an object a live run still references: every
+    key mentioned after the last ``run_started``/``server_started`` that
+    has no matching ``run_completed``/``server_drained`` is considered
+    live — cache hits it already served, completions it already banked
+    (a killed-and-resumed run will re-read them) and jobs still in
+    flight.  A cleanly terminated journal protects nothing.
+    """
+    journal = Journal(journal_path)
+    records, _corrupt = journal.replay()
+    segment_start: Optional[int] = None
+    for index, record in enumerate(records):
+        event = record.get("event")
+        if event in _SEGMENT_BEGIN_EVENTS:
+            segment_start = index
+        elif event in _SEGMENT_END_EVENTS:
+            segment_start = None
+    if segment_start is None:
+        return set()
+    return {str(record["key"]) for record in records[segment_start:]
+            if "key" in record}

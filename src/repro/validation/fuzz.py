@@ -630,16 +630,20 @@ def shrink_scenario(scenario: FuzzScenario,
 def run_fuzz(budget: int, seed: int, workers: Optional[int] = None,
              max_ops: int = 8, store_root: Optional[str] = None,
              corpus_dir: Optional[Path] = None, bank: bool = True,
-             shrink: bool = True) -> Dict[str, object]:
+             shrink: bool = True,
+             server: Optional[str] = None) -> Dict[str, object]:
     """Run a ``budget``-scenario fuzz campaign; returns the summary dict.
 
     Scenario execution fans over the experiment service (worker processes,
     journaled, quarantine on hard worker death); with ``store_root`` every
     completed scenario is content-addressed, so a SIGKILLed campaign re-run
-    with the same arguments resumes from cache.  Shrinking runs in-process
-    (it is a sequential refinement loop), and surviving reproducers are
-    banked into the corpus.  Everything except wall-clock/service counters
-    is a pure function of ``(seed, budget, max_ops)``.
+    with the same arguments resumes from cache.  With ``server``
+    (``host:port``) scenarios execute on a running
+    :mod:`repro.experiments.server` — same summary, shared warm store.
+    Shrinking runs in-process (it is a sequential refinement loop), and
+    surviving reproducers are banked into the corpus.  Everything except
+    wall-clock/service counters is a pure function of
+    ``(seed, budget, max_ops)``.
     """
     from repro.experiments.service import ExperimentService, Job
 
@@ -651,8 +655,15 @@ def run_fuzz(budget: int, seed: int, workers: Optional[int] = None,
     jobs = [Job(index=index, name=scenario.name, key=scenario_key(scenario),
                 item=scenario.to_json())
             for index, (scenario, _cursor) in enumerate(generated)]
-    with ExperimentService(workers=workers, store=store_root) as service:
-        outcome = service.execute(run_fuzz_scenario, jobs)
+    if server is not None:
+        from repro.experiments.client import RemoteService
+
+        with RemoteService(server, "fuzz_scenario",
+                           workers=workers) as service:
+            outcome = service.execute(run_fuzz_scenario, jobs)
+    else:
+        with ExperimentService(workers=workers, store=store_root) as service:
+            outcome = service.execute(run_fuzz_scenario, jobs)
 
     divergent: List[Tuple[int, Dict[str, object]]] = []
     crashes: List[Dict[str, object]] = []
@@ -815,6 +826,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--store", type=str, default=None, metavar="DIR",
                         help="experiment-service result store (makes a "
                              "SIGKILLed campaign resumable)")
+    parser.add_argument("--server", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="target a running experiment server instead of "
+                             "the in-process service")
     parser.add_argument("--corpus", type=str, default=None, metavar="DIR",
                         help="corpus directory (default tests/fuzz_corpus)")
     parser.add_argument("--no-bank", action="store_true",
@@ -849,7 +864,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         summary = run_fuzz(budget=args.budget, seed=args.seed,
                            workers=args.workers, max_ops=args.max_ops,
                            store_root=args.store, corpus_dir=corpus_dir,
-                           bank=not args.no_bank, shrink=not args.no_shrink)
+                           bank=not args.no_bank, shrink=not args.no_shrink,
+                           server=args.server)
     finally:
         if undo is not None:
             undo()

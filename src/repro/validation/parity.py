@@ -394,7 +394,8 @@ def parity_job_key(point: ParityPoint) -> str:
 
 def run_matrix(points: Sequence[ParityPoint],
                workers: Optional[int] = None,
-               store_root: Optional[str] = None) -> Dict[str, object]:
+               store_root: Optional[str] = None,
+               server: Optional[str] = None) -> Dict[str, object]:
     """Run every point through the experiment service and summarise.
 
     Execution rides the fault-tolerant experiment service
@@ -403,7 +404,9 @@ def run_matrix(points: Sequence[ParityPoint],
     merged in submission order, so the summary is byte-identical for any
     worker count.  With ``store_root`` every completed point lands
     content-addressed in a result store and a killed ``--full`` run
-    resumes from its journal, re-running only the missing points.
+    resumes from its journal, re-running only the missing points.  With
+    ``server`` (``host:port``) execution targets a running
+    :mod:`repro.experiments.server` instead — same summary, shared store.
     """
     from repro.experiments.service import ExperimentService, Job
 
@@ -413,8 +416,15 @@ def run_matrix(points: Sequence[ParityPoint],
                 item=point)
             for index, point in enumerate(points)]
     start = time.perf_counter()
-    with ExperimentService(workers=workers, store=store_root) as service:
-        outcome = service.execute(run_parity_point, jobs)
+    if server is not None:
+        from repro.experiments.client import RemoteService
+
+        with RemoteService(server, "parity_point",
+                           workers=workers) as service:
+            outcome = service.execute(run_parity_point, jobs)
+    else:
+        with ExperimentService(workers=workers, store=store_root) as service:
+            outcome = service.execute(run_parity_point, jobs)
     wall_seconds = time.perf_counter() - start
     digests = [d for d in outcome["results"] if d is not None]
     divergences = [d["divergence"] for d in digests if d["divergence"] is not None]
@@ -450,6 +460,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="experiment-service result store: completed "
                              "points are cached content-addressed and a "
                              "killed run resumes from its journal")
+    parser.add_argument("--server", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="target a running experiment server instead of "
+                             "the in-process service")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="write the full summary as JSON to PATH")
     parser.add_argument("--repro", type=str, default=None, metavar="FILE",
@@ -481,7 +495,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         points = sample_lattice(args.sample, args.seed)
         scope = f"sample of {len(points)}"
-    summary = run_matrix(points, workers=args.workers, store_root=args.store)
+    summary = run_matrix(points, workers=args.workers, store_root=args.store,
+                         server=args.server)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)

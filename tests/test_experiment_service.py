@@ -318,3 +318,146 @@ class TestKillResume:
         digest = run_resilient_sweep(points, store_root=tmp_path, workers=1)
         assert digest["service"]["resumed_interrupted"] == 1
         assert len(digest["points"]) == 2
+
+
+# --------------------------------------------------------------------- #
+# Satellite: fail-fast argument validation
+# --------------------------------------------------------------------- #
+class TestResilientSweepValidation:
+    def test_empty_point_list_fails_fast(self, tmp_path):
+        with pytest.raises(ValueError, match="non-empty point list"):
+            run_resilient_sweep([], store_root=tmp_path)
+
+    def test_nonpositive_workers_fail_fast(self, tmp_path):
+        with pytest.raises(ValueError, match="workers must be a positive"):
+            run_resilient_sweep(tiny_grid(1), store_root=tmp_path, workers=0)
+        with pytest.raises(ValueError, match="got -2"):
+            run_resilient_sweep(tiny_grid(1), store_root=tmp_path, workers=-2)
+
+    def test_store_root_that_is_a_file_fails_fast(self, tmp_path):
+        clobber = tmp_path / "store"
+        clobber.write_text("precious data, do not mkdir over me")
+        with pytest.raises(ValueError, match="existing file, not a directory"):
+            run_resilient_sweep(tiny_grid(1), store_root=clobber)
+        assert clobber.read_text() == "precious data, do not mkdir over me"
+
+
+# --------------------------------------------------------------------- #
+# Satellite: store GC, quarantine stats, duplicate-completion warning
+# --------------------------------------------------------------------- #
+class TestStoreGC:
+    def fill(self, store: ResultStore, count: int = 4) -> list:
+        keys = []
+        for index in range(count):
+            key = content_key({"gc": index})
+            path = store.put(key, {"value": index, "pad": "x" * 512})
+            # Deterministic LRU order: ascending atime by index.
+            stamp = 1_000_000 + index * 100
+            os.utime(path, (stamp, stamp))
+            keys.append(key)
+        return keys
+
+    def test_evicts_least_recently_used_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self.fill(store)
+        sizes = store.stats()["stored_bytes"]
+        report = store.gc(budget_bytes=sizes // 2)
+        evicted = [row["key"] for row in report["evicted"]]
+        # Oldest atimes go first; the newest object always survives.
+        assert evicted == keys[:len(evicted)]
+        assert store.get(keys[-1]) is not None
+        assert report["bytes_after"] <= sizes // 2
+        assert not report["over_budget"]
+
+    def test_dry_run_unlinks_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self.fill(store)
+        report = store.gc(budget_bytes=0, dry_run=True)
+        assert len(report["evicted"]) == len(keys)
+        for key in keys:
+            assert store.get(key) is not None
+
+    def test_protected_keys_survive_even_over_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self.fill(store)
+        report = store.gc(budget_bytes=0, protect=set(keys))
+        assert report["evicted"] == []
+        assert report["over_budget"]
+        assert sorted(report["protected_skipped"]) == sorted(keys)
+
+    def test_corrupt_debris_reclaimed_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self.fill(store)
+        bad = content_key({"gc": "corrupt"})
+        path = store.put(bad, {"value": 0})
+        path.write_text('{"schema": "result_store/v1", "torn')
+        assert store.get(bad) is None  # quarantines it as *.corrupt
+        before = store.stats()["stored_bytes"]
+        report = store.gc(budget_bytes=before)  # already within budget...
+        # ...so only the (budget-free) corrupt debris is reclaimed.
+        assert [row["corrupt"] for row in report["evicted"]] == [True]
+        for key in keys:
+            assert store.get(key) is not None
+
+    def test_stats_count_quarantined_objects_on_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = content_key({"stats": 1})
+        path = store.put(key, {"value": 1})
+        path.write_text("garbage")
+        assert store.get(key) is None
+        # A *different* handle still sees the on-disk quarantine debris.
+        fresh = ResultStore(tmp_path)
+        stats = fresh.stats()
+        assert stats["quarantined_objects"] == 1
+        assert stats["corrupt_objects"] == 0  # this handle saw none itself
+
+
+class TestJournalDuplicateWarning:
+    def test_duplicate_completion_warns_on_replay(self, tmp_path):
+        from repro.experiments.store import JournalWarning
+
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"event": "job_completed", "key": "k1", "name": "a"})
+        journal.append({"event": "job_completed", "key": "k1", "name": "a"})
+        journal.append({"event": "job_completed", "key": "k2", "name": "b"})
+        journal.close()
+        replayer = Journal(tmp_path / "journal.jsonl")
+        with pytest.warns(JournalWarning, match="k1"):
+            records, corrupt = replayer.replay()
+        replayer.close()
+        assert corrupt == 0 and len(records) == 3
+
+    def test_unique_completions_replay_silently(self, tmp_path):
+        import warnings
+
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"event": "job_completed", "key": "k1", "name": "a"})
+        journal.append({"event": "job_completed", "key": "k2", "name": "b"})
+        journal.close()
+        replayer = Journal(tmp_path / "journal.jsonl")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records, _ = replayer.replay()
+        replayer.close()
+        assert len(records) == 2
+
+
+class TestJournalProgress:
+    def test_in_flight_is_submitted_minus_terminal(self):
+        from repro.experiments.service import journal_progress
+
+        rollup = journal_progress([
+            {"event": "job_submitted", "key": "a"},
+            {"event": "attempt_started", "key": "a"},
+            {"event": "job_completed", "key": "a"},
+            {"event": "job_submitted", "key": "b"},
+            {"event": "attempt_started", "key": "b"},   # crashed mid-run
+            {"event": "job_submitted", "key": "c"},
+            {"event": "job_cancelled", "key": "c"},
+            {"event": "cache_hit", "key": "d"},
+            {"event": "server_started"},                # no key: ignored
+        ])
+        assert rollup["completed"] == 1
+        assert rollup["cancelled"] == 1
+        assert rollup["cache_hits"] == 1
+        assert rollup["in_flight"] == 1  # only "b"
