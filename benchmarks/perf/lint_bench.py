@@ -1,0 +1,91 @@
+"""Invariant-lint health bench: findings, baseline debt, scan shape.
+
+Runs the five AST rules (:mod:`repro.analysis.lint`) over ``src/repro``
+and records the outcome under the ``"lint"`` key of
+``benchmarks/perf/BENCH_perf.json``:
+
+* a healthy build has **zero** non-baselined findings — the same contract
+  the CI ``static-analysis`` job enforces via the CLI exit code;
+* the checked-in baseline size is recorded so the perf-smoke gate can
+  assert it never grows (grandfathered debt may only shrink);
+* files scanned, per-rule finding counts and pragma-suppression counts are
+  recorded so a scope regression (a rule silently skipping a package)
+  shows up as a number.
+
+``test_perf_smoke.py`` gates these properties against this record.
+
+Run standalone from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/lint_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict
+
+from repro.analysis.lint import default_rules, load_baseline, run_rules, split_findings
+from repro.analysis.lint.framework import RepoIndex
+from repro.analysis.lint.__main__ import DEFAULT_BASELINE, PACKAGE_ROOT
+
+try:
+    from benchmarks.perf.kips_harness import BENCH_PATH
+except ImportError:  # executed as a script: the module is a sibling file
+    from kips_harness import BENCH_PATH
+
+
+def measure_lint() -> Dict[str, object]:
+    """One full lint pass over the package, digested for the gate."""
+    start = time.perf_counter()
+    rules = default_rules()
+    index = RepoIndex.build(PACKAGE_ROOT)
+    report = run_rules(index, rules)
+    baseline = load_baseline(DEFAULT_BASELINE)
+    new, baselined, stale = split_findings(report.findings, baseline)
+    wall_seconds = time.perf_counter() - start
+
+    digest = {
+        "schema": "lint_digest/v1",
+        "python": platform.python_version(),
+        "files_scanned": report.files_scanned,
+        "rules_run": report.rules_run,
+        "findings": len(new),
+        "baselined": len(baselined),
+        "baseline_size": len(baseline),
+        "stale_baseline_entries": len(stale),
+        "suppressed_by_pragma": len(report.suppressed),
+        "by_rule": report.by_rule(),
+        "wall_seconds": round(wall_seconds, 4),
+    }
+    if new:
+        raise AssertionError(
+            f"healthy build has {len(new)} non-baselined lint finding(s): "
+            + "; ".join(finding.render() for finding in new[:5]))
+    return digest
+
+
+def main() -> None:
+    digest = measure_lint()
+    data = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    previous = data.get("lint")
+    if previous and digest["baseline_size"] > previous.get("baseline_size", 0):
+        raise AssertionError(
+            f"lint baseline grew: {previous['baseline_size']} -> "
+            f"{digest['baseline_size']} entries — new violations must be "
+            f"fixed or pragma-annotated, never baselined away")
+    data["lint"] = digest
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote lint digest to {BENCH_PATH}")
+    print(f"  {digest['files_scanned']} files, "
+          f"rules {','.join(digest['rules_run'])}, "
+          f"{digest['findings']} findings, "
+          f"{digest['baselined']} baselined "
+          f"(baseline size {digest['baseline_size']}), "
+          f"{digest['suppressed_by_pragma']} pragma-suppressed")
+    print(f"  wall: {digest['wall_seconds']}s")
+
+
+if __name__ == "__main__":
+    main()

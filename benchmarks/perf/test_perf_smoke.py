@@ -339,6 +339,43 @@ def test_fuzz_campaign_digest_is_healthy():
     assert corpus["entries"] >= 1
 
 
+def test_lint_digest_is_clean_and_baseline_never_grows():
+    """The recorded lint run must attest a discipline-clean tree.
+
+    The ``lint`` section (written by ``benchmarks/perf/lint_bench.py``)
+    records one pass of the five invariant rules over ``src/repro``: a
+    healthy build has zero non-baselined findings, all five rules must
+    actually have run over the full package, and the checked-in
+    ``lint_baseline.json`` may never grow past the recorded size —
+    grandfathered debt only shrinks, it is never added to.  The live
+    baseline file is compared against the record, so a PR that baselines
+    a new violation away fails here even if it also re-records.
+    """
+    recorded = recorded_bench()
+    digest = recorded.get("lint")
+    if digest is None:
+        pytest.skip("no lint digest recorded yet; run "
+                    "benchmarks/perf/lint_bench.py")
+    assert digest["findings"] == 0, (
+        "the recorded lint run had non-baselined findings; fix them or "
+        "annotate with '# lint-allow: <rule> <why>' "
+        "(python -m repro.analysis.lint)")
+    assert digest["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+    assert digest["files_scanned"] >= 90, (
+        "the lint scanned suspiciously few files — scope regression")
+    assert digest["stale_baseline_entries"] == 0, (
+        "the baseline lists violations that no longer exist; prune it "
+        "(python -m repro.analysis.lint --update-baseline)")
+
+    from repro.analysis.lint import load_baseline
+    from repro.analysis.lint.__main__ import DEFAULT_BASELINE
+    live_size = len(load_baseline(DEFAULT_BASELINE))
+    assert live_size <= digest["baseline_size"], (
+        f"lint_baseline.json grew from {digest['baseline_size']} to "
+        f"{live_size} entries — new violations must be fixed or "
+        f"pragma-annotated, never baselined away")
+
+
 def test_vectorized_generation_active():
     """With numpy installed, the vectorised generators must be the default."""
     if not numpy_available():

@@ -1,0 +1,70 @@
+"""Invariant lint: static enforcement of the repo's hard-won disciplines.
+
+Five AST rules over ``src/repro`` — each one encodes the discipline
+behind a real bug the dynamic harnesses (parity lattice, fuzzer, fault
+matrix) caught after the fact:
+
+* **R1 determinism** — no unseeded randomness; no wall clocks in the
+  simulated machine (:mod:`.rules_determinism`);
+* **R2 invalidation** — mapping mutations reach a shootdown/invalidate/
+  version bump (:mod:`.rules_invalidation`);
+* **R3 durability** — durable writes go tmp + ``os.replace`` + fsync
+  (:mod:`.rules_durability`);
+* **R4 async/fork safety** — nothing blocks the server loop; forked
+  workers detach inherited signal plumbing (:mod:`.rules_async`);
+* **R5 parity surface** — report counters exist and engine pairs touch
+  identical sets (:mod:`.rules_parity`).
+
+Run ``python -m repro.analysis.lint`` from the repo root; see
+``docs/static_analysis.md`` for the rule catalog and baseline workflow.
+"""
+
+from repro.analysis.lint.baseline import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from repro.analysis.lint.framework import (
+    Finding,
+    LintReport,
+    ModuleInfo,
+    RepoIndex,
+    Rule,
+    run_rules,
+)
+from repro.analysis.lint.rules_async import AsyncSafetyRule
+from repro.analysis.lint.rules_determinism import DeterminismRule
+from repro.analysis.lint.rules_durability import DurabilityRule
+from repro.analysis.lint.rules_invalidation import InvalidationRule
+from repro.analysis.lint.rules_parity import ParitySurfaceRule
+
+#: The shipped rule set, in id order.
+ALL_RULES = (DeterminismRule, InvalidationRule, DurabilityRule,
+             AsyncSafetyRule, ParitySurfaceRule)
+
+
+def default_rules():
+    """Fresh instances of every shipped rule."""
+    return [rule() for rule in ALL_RULES]
+
+
+__all__ = [
+    "ALL_RULES",
+    "AsyncSafetyRule",
+    "BASELINE_SCHEMA",
+    "DeterminismRule",
+    "DurabilityRule",
+    "Finding",
+    "InvalidationRule",
+    "LintReport",
+    "ModuleInfo",
+    "ParitySurfaceRule",
+    "RepoIndex",
+    "Rule",
+    "default_rules",
+    "load_baseline",
+    "run_rules",
+    "save_baseline",
+    "split_findings",
+]

@@ -1,0 +1,130 @@
+"""CLI for the invariant lint: ``python -m repro.analysis.lint``.
+
+Exit status is the CI contract: 0 when every finding is baselined (or
+pragma-suppressed), 1 when any new finding exists.  The default scan
+root is the installed ``repro`` package source and the default baseline
+is ``lint_baseline.json`` at the repo root, so the bare invocation from
+a checkout does the right thing::
+
+    PYTHONPATH=src python -m repro.analysis.lint
+    PYTHONPATH=src python -m repro.analysis.lint --json lint.json
+    PYTHONPATH=src python -m repro.analysis.lint --update-baseline
+
+``--update-baseline`` rewrites the baseline to exactly the current
+findings — the perf-smoke gate pins its size, so regenerating it can
+only ever shrink the debt, never hide new violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint import (
+    default_rules,
+    load_baseline,
+    run_rules,
+    save_baseline,
+    split_findings,
+)
+from repro.analysis.lint.framework import RepoIndex
+from repro.experiments.store import atomic_write_json
+
+#: src/repro — three parents up from src/repro/analysis/lint/__main__.py.
+PACKAGE_ROOT = Path(__file__).resolve().parents[2]
+#: The checkout root (…/src/..): where lint_baseline.json lives.
+REPO_ROOT = PACKAGE_ROOT.parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "lint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST invariant lint for the determinism / invalidation / "
+                    "durability / async-safety / parity disciplines")
+    parser.add_argument("--root", type=Path, default=PACKAGE_ROOT,
+                        help="directory to scan (default: the repro package)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file grandfathering known findings "
+                             "(default: lint_baseline.json at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings "
+                             "and exit 0")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RULE_ID",
+                        help="run only this rule id (repeatable)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write a machine-readable report here")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+    if args.rule:
+        wanted = set(args.rule)
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    index = RepoIndex.build(args.root)
+    report = run_rules(index, rules)
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, baselined, stale = split_findings(report.findings, baseline)
+
+    if args.update_baseline:
+        save_baseline(args.baseline, report.findings)
+        print(f"baseline updated: {len(report.findings)} entr"
+              f"{'y' if len(report.findings) == 1 else 'ies'} "
+              f"-> {args.baseline}")
+        return 0
+
+    for finding in new:
+        print(finding.render())
+    for key in stale:
+        print(f"stale baseline entry (violation fixed — prune it): {key}")
+
+    summary = {
+        "files_scanned": report.files_scanned,
+        "rules_run": report.rules_run,
+        "findings": len(new),
+        "baselined": len(baselined),
+        "suppressed_by_pragma": len(report.suppressed),
+        "stale_baseline_entries": len(stale),
+        "baseline_size": len(baseline),
+        "by_rule": report.by_rule(),
+    }
+    if args.json is not None:
+        payload = dict(summary)
+        payload["new_findings"] = [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "symbol": f.symbol, "message": f.message, "key": f.key}
+            for f in new]
+        payload["stale_baseline_keys"] = stale
+        atomic_write_json(args.json, payload)
+
+    status = "FAIL" if new else "ok"
+    print(f"lint {status}: {report.files_scanned} files, "
+          f"rules {','.join(report.rules_run)}, "
+          f"{len(new)} new finding(s), {len(baselined)} baselined, "
+          f"{len(report.suppressed)} pragma-suppressed, "
+          f"{len(stale)} stale baseline entr"
+          f"{'y' if len(stale) == 1 else 'ies'}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Checked-in lint baseline: grandfathered findings by stable key.
+
+The baseline is the migration tool for turning a rule on before every
+violation is fixed: run ``python -m repro.analysis.lint
+--update-baseline`` once, commit ``lint_baseline.json``, and from then
+on the CLI exits non-zero only for *new* findings.  Keys deliberately
+exclude line numbers (see :attr:`~repro.analysis.lint.framework.Finding
+.key`) so unrelated edits never churn the file, and each entry records
+the finding's message at baseline time so a reviewer can judge it
+without re-running the pass.
+
+The perf-smoke gate pins the baseline's size: it must only shrink.  A
+new violation therefore cannot be waved through by regenerating the
+baseline — the gate fails until the code is fixed or the site carries an
+inline ``# lint-allow`` pragma with its rationale.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.lint.framework import Finding
+from repro.experiments.store import atomic_write_json
+
+BASELINE_SCHEMA = "lint_baseline/v1"
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """key -> recorded message.  Missing file means an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: unrecognised baseline schema "
+                         f"{data.get('schema')!r} (want {BASELINE_SCHEMA})")
+    return {entry["key"]: entry.get("message", "")
+            for entry in data.get("entries", ())}
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline for ``findings`` atomically (sorted, stable)."""
+    entries = [{"key": finding.key, "message": finding.message}
+               for finding in sorted(findings, key=lambda f: f.key)]
+    atomic_write_json(path, {"schema": BASELINE_SCHEMA, "entries": entries})
+
+
+def split_findings(findings: Sequence[Finding], baseline: Dict[str, str],
+                   ) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings against the baseline.
+
+    Returns ``(new, baselined, stale_keys)``: findings not in the
+    baseline (these fail the build), findings the baseline grandfathers,
+    and baseline keys that no longer match anything (fixed violations
+    whose entries should be pruned — reported, never fatal).
+    """
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    live_keys = set()
+    for finding in findings:
+        live_keys.add(finding.key)
+        if finding.key in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key in baseline if key not in live_keys)
+    return new, baselined, stale

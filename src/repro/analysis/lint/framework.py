@@ -1,0 +1,505 @@
+"""Invariant-lint framework: AST index, intra-module call graph, findings.
+
+The dynamic half of this repo's correctness story — the parity lattice,
+the scenario fuzzer, the service fault matrix — catches discipline
+violations *after* they ship, at the cost of a full differential run.
+This package is the static half: a handful of AST rules that encode the
+disciplines those harnesses keep re-proving (seed every random source,
+invalidate on every mapping mutation, tmp+``os.replace`` every durable
+write, never block the event loop, keep the parity surface symmetric)
+and flag violations at review time, with ``file:line`` provenance.
+
+The framework is deliberately small and name-based:
+
+* :class:`RepoIndex` parses every ``*.py`` under a root into
+  :class:`ModuleInfo` records — functions with their qualified names,
+  every call site as a dotted-name string (``self.rlb.invalidate``),
+  attribute events (``self.version += 1``), class attribute wiring from
+  ``__init__`` (``self.rlb = RangeLookasideBuffer(...)``) and hot-cell
+  counter bindings (``self._c_x = self.counters.hot("x")``).
+* :meth:`RepoIndex.call_graph` resolves calls *intra-module only*
+  (``self.m`` to the defining class or an intra-module base,
+  ``self.attr.m`` through the ``__init__`` wiring, bare names to
+  module-level functions).  Cross-module resolution is deliberately out
+  of scope: every rule states a discipline a module must satisfy
+  locally, and an allow pragma documents the cases where the contract
+  is genuinely held by a caller elsewhere.
+* :func:`reaches` answers "does this function, transitively, do X?" —
+  the shape of every invalidation-discipline question.
+
+Suppression is two-tier, both auditable in review:
+
+* an inline pragma ``# lint-allow: R2 reason`` on the offending line
+  (or the line above) suppresses one site with its rationale in the
+  source; and
+* a checked-in baseline (:mod:`repro.analysis.lint.baseline`)
+  grandfathers findings by stable key — rule, path and symbol, but
+  *not* line number, so unrelated edits never churn it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Pragma format: ``# lint-allow: R1 why this site is exempt`` (several
+#: rules may be listed, comma-separated).  The reason is not parsed but
+#: its presence in the source is the point — the rationale lives next to
+#: the exempted line and travels with it in review diffs.
+_PRAGMA_RE = re.compile(r"#\s*lint-allow:\s*([A-Z0-9, ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file, line and symbol."""
+
+    rule: str          #: rule id, e.g. ``"R2"``
+    path: str          #: posix path relative to the scan root
+    line: int          #: 1-based source line
+    symbol: str        #: qualified name of the offending function/class
+    message: str       #: human-readable description
+    detail: str = ""   #: short stable slug distinguishing findings in one symbol
+    severity: str = SEVERITY_ERROR
+
+    @property
+    def key(self) -> str:
+        """Stable identity for the baseline.
+
+        Line numbers are deliberately excluded so a baselined finding
+        survives unrelated edits above it; two distinct violations inside
+        one symbol are separated by ``detail`` (usually the offending
+        call or counter name).
+        """
+        return f"{self.rule}:{self.path}:{self.symbol}:{self.detail}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule} [{self.severity}] "
+                f"{self.message}")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    dotted: str   #: best-effort dotted name, e.g. ``"self.rlb.invalidate"``
+    tail: str     #: terminal attribute/name, e.g. ``"invalidate"``
+    line: int
+
+
+@dataclass(frozen=True)
+class AttrEvent:
+    """An attribute mutation (``self.version += 1``, ``self.rlb = ...``)."""
+
+    kind: str     #: ``"augassign"`` or ``"assign"``
+    dotted: str   #: dotted target, e.g. ``"self.version"``
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def``/``async def`` with its calls and attribute events."""
+
+    name: str
+    qualname: str
+    line: int
+    is_async: bool
+    class_name: Optional[str]
+    node: ast.AST
+    calls: List[CallSite] = field(default_factory=list)
+    events: List[AttrEvent] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and the ``__init__`` attribute wiring."""
+
+    name: str
+    line: int
+    bases: List[str]
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.X = K(...)`` in ``__init__`` where ``K`` is a bare name —
+    #: the wiring rule R2 uses to find owned translation caches.
+    attr_classes: Dict[str, str] = field(default_factory=dict)
+    #: ``self._c_x = self.counters.hot("x")`` in ``__init__`` — the
+    #: hot-cell bindings rule R5 maps back to counter names.
+    hot_bindings: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed view of one source file."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: line -> set of rule ids allowed on that line by a pragma comment
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: top-level module names imported (``import x``, ``import x.y``)
+    imports: Set[str] = field(default_factory=set)
+    #: local name -> dotted origin for ``from m import n [as a]``
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level ``NAME = (...)`` string-tuple constants (parity
+    #: exclusion lists and friends)
+    string_constants: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a call target / attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted_name(node.value)}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return f"{dotted_name(node.func)}()"
+    if isinstance(node, ast.Subscript):
+        return f"{dotted_name(node.value)}[]"
+    return "?"
+
+
+def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            pragmas.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return pragmas
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Single-pass collector for functions, classes, calls and events."""
+
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self._class_stack: List[ClassInfo] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    # -- imports ------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.info.imports.add(alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self.info.imports.add(node.module.split(".")[0])
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.info.from_imports[local] = f"{node.module}.{alias.name}"
+
+    # -- classes / functions ------------------------------------------- #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(name=node.name, line=node.lineno,
+                        bases=[dotted_name(base) for base in node.bases])
+        self.info.classes[node.name] = cls
+        self._class_stack.append(cls)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _enter_function(self, node, is_async: bool) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        # Nested functions get a dotted qualname; only the top level of a
+        # class is treated as a method (matching runtime semantics).
+        if self._func_stack:
+            qualname = f"{self._func_stack[-1].qualname}.{node.name}"
+            method_of = None
+        elif cls is not None:
+            qualname = f"{cls.name}.{node.name}"
+            method_of = cls
+        else:
+            qualname = node.name
+            method_of = None
+        info = FunctionInfo(name=node.name, qualname=qualname,
+                            line=node.lineno, is_async=is_async,
+                            class_name=cls.name if cls else None, node=node)
+        self.info.functions[qualname] = info
+        if method_of is not None:
+            method_of.methods[node.name] = info
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, is_async=True)
+
+    # -- calls / events ------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            dotted = dotted_name(node.func)
+            tail = dotted.rsplit(".", 1)[-1]
+            self._func_stack[-1].calls.append(
+                CallSite(dotted=dotted, tail=tail, line=node.lineno))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._func_stack and isinstance(node.target,
+                                           (ast.Attribute, ast.Subscript)):
+            self._func_stack[-1].events.append(
+                AttrEvent(kind="augassign", dotted=dotted_name(node.target),
+                          line=node.lineno))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Module-level string-tuple constants (e.g. HOST_ONLY_KEYS).
+        if (not self._func_stack and not self._class_stack
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, (ast.Tuple, ast.List))):
+            elements = node.value.elts
+            if elements and all(isinstance(el, ast.Constant)
+                                and isinstance(el.value, str)
+                                for el in elements):
+                self.info.string_constants[node.targets[0].id] = tuple(
+                    el.value for el in elements)
+        if self._func_stack:
+            func = self._func_stack[-1]
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    func.events.append(
+                        AttrEvent(kind="assign", dotted=dotted_name(target),
+                                  line=node.lineno))
+            # __init__ wiring: self.X = K(...) and hot-cell bindings.
+            if (func.name == "__init__" and self._class_stack
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and isinstance(node.value, ast.Call)):
+                attr = node.targets[0].attr
+                cls = self._class_stack[-1]
+                callee = dotted_name(node.value.func)
+                if isinstance(node.value.func, ast.Name):
+                    cls.attr_classes[attr] = node.value.func.id
+                if (callee.endswith(".hot") and node.value.args
+                        and isinstance(node.value.args[0], ast.Constant)
+                        and isinstance(node.value.args[0].value, str)):
+                    cls.hot_bindings[attr] = node.value.args[0].value
+        self.generic_visit(node)
+
+
+def parse_module(path: Path, relpath: str) -> Optional[ModuleInfo]:
+    """Parse one file into a :class:`ModuleInfo` (``None`` on syntax error)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    info = ModuleInfo(path=path, relpath=relpath, tree=tree,
+                      pragmas=_parse_pragmas(source))
+    _ModuleVisitor(info).visit(tree)
+    return info
+
+
+class RepoIndex:
+    """Every parsed module under one scan root, plus shared call graphs."""
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]):
+        self.root = root
+        self.modules = modules
+        self._graphs: Dict[str, Dict[str, Set[str]]] = {}
+
+    @classmethod
+    def build(cls, root: Path) -> "RepoIndex":
+        root = Path(root)
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            info = parse_module(path, relpath)
+            if info is not None:
+                modules[relpath] = info
+        return cls(root, modules)
+
+    # -- intra-module call graph --------------------------------------- #
+    def call_graph(self, relpath: str) -> Dict[str, Set[str]]:
+        """qualname -> set of intra-module callee qualnames.
+
+        Resolution is name-based and local: ``self.m()`` resolves to the
+        defining class's method ``m`` (or an intra-module base class's),
+        ``self.attr.m()`` resolves through the ``__init__`` attribute
+        wiring, and bare ``f()`` resolves to a module-level function.
+        Anything else is left unresolved — it still shows up as a raw
+        :class:`CallSite` for predicate matching.
+        """
+        cached = self._graphs.get(relpath)
+        if cached is not None:
+            return cached
+        module = self.modules[relpath]
+        graph: Dict[str, Set[str]] = {}
+        for qualname, func in module.functions.items():
+            callees: Set[str] = set()
+            for call in func.calls:
+                target = self._resolve(module, func, call)
+                if target is not None:
+                    callees.add(target)
+            graph[qualname] = callees
+        self._graphs[relpath] = graph
+        return graph
+
+    def _method_in_hierarchy(self, module: ModuleInfo, class_name: str,
+                             method: str) -> Optional[str]:
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = module.classes.get(name)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return f"{name}.{method}"
+            queue.extend(base for base in cls.bases if base in module.classes)
+        return None
+
+    def _resolve(self, module: ModuleInfo, func: FunctionInfo,
+                 call: CallSite) -> Optional[str]:
+        parts = call.dotted.split(".")
+        if parts[0] == "self" and func.class_name:
+            if len(parts) == 2:
+                return self._method_in_hierarchy(module, func.class_name,
+                                                 parts[1])
+            if len(parts) == 3:
+                cls = module.classes.get(func.class_name)
+                owner = cls.attr_classes.get(parts[1]) if cls else None
+                if owner is not None:
+                    return self._method_in_hierarchy(module, owner, parts[2])
+            return None
+        if len(parts) == 1 and parts[0] in module.functions:
+            return parts[0]
+        return None
+
+    def reaches(self, relpath: str, start: str,
+                predicate: Callable[[FunctionInfo], Optional[int]],
+                ) -> Optional[Tuple[str, int]]:
+        """BFS the intra-module call graph from ``start``.
+
+        ``predicate`` inspects one :class:`FunctionInfo` and returns a
+        witness line (or ``None``).  Returns ``(qualname, line)`` of the
+        first function satisfying it, or ``None`` if unreachable.
+        """
+        module = self.modules[relpath]
+        graph = self.call_graph(relpath)
+        seen: Set[str] = set()
+        queue = [start]
+        while queue:
+            qualname = queue.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            func = module.functions.get(qualname)
+            if func is None:
+                continue
+            witness = predicate(func)
+            if witness is not None:
+                return qualname, witness
+            queue.extend(graph.get(qualname, ()))
+        return None
+
+    # -- cross-module lookups ------------------------------------------ #
+    def find_string_constant(self, name: str) -> Tuple[str, ...]:
+        """The first module-level string tuple named ``name``, or empty."""
+        for module in self.modules.values():
+            if name in module.string_constants:
+                return module.string_constants[name]
+        return ()
+
+    def find_functions(self, name: str) -> List[Tuple[ModuleInfo, FunctionInfo]]:
+        """Every function (any module) whose bare name is ``name``."""
+        matches = []
+        for module in self.modules.values():
+            for func in module.functions.values():
+                if func.name == name:
+                    matches.append((module, func))
+        return matches
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`name`, :attr:`description`
+    (one line, shown by ``--list-rules``) and implement :meth:`check`.
+    """
+
+    rule_id = "R0"
+    name = "base"
+    description = ""
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        raise NotImplementedError
+
+
+def in_scope(relpath: str, prefixes: Sequence[str]) -> bool:
+    """True when ``relpath`` falls under one of the scope prefixes.
+
+    The leading ``repro/`` package directory is optional so the same
+    rule scopes work against the real tree (scanned from ``src/``, paths
+    like ``repro/mimicos/kernel.py``) and against fixture trees (paths
+    like ``mimicos/kernel.py``).
+    """
+    trimmed = relpath[len("repro/"):] if relpath.startswith("repro/") else relpath
+    return any(trimmed == prefix or trimmed.startswith(prefix)
+               for prefix in prefixes)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint pass, before baseline application."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]     #: dropped by an inline ``lint-allow`` pragma
+    files_scanned: int
+    rules_run: List[str]
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def run_rules(index: RepoIndex, rules: Sequence[Rule]) -> LintReport:
+    """Run every rule, then apply inline pragmas.
+
+    A pragma suppresses a finding when it sits on the finding's line or
+    the line directly above it (so a rationale can ride its own line).
+    """
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(index):
+            module = index.modules.get(finding.path)
+            allowed: Set[str] = set()
+            if module is not None:
+                allowed |= module.pragmas.get(finding.line, set())
+                allowed |= module.pragmas.get(finding.line - 1, set())
+            if finding.rule in allowed:
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
+    return LintReport(findings=findings, suppressed=suppressed,
+                      files_scanned=len(index.modules),
+                      rules_run=[rule.rule_id for rule in rules])

@@ -1,0 +1,122 @@
+"""R3 — durable-write discipline: tmp + ``os.replace`` (+ fsync) or nothing.
+
+The experiment service's whole crash story rests on two write shapes:
+content-addressed store objects land atomically via
+``atomic_write_json`` (a reader sees the old file or the new file,
+never a torn one — PR 6's SIGKILL-resume and PR 7's corpus banking both
+lean on this), and the journal appends through ``Journal.append``
+(flush + fsync per record, so a kill leaves at most one truncated
+line).  A bare ``open(path, "w")`` anywhere in the durable layer is a
+latent torn-read or lost-write bug that only manifests under the exact
+crash timing the fault-injection harness exists to produce.
+
+This rule flags every write-mode ``open`` / ``Path.write_text`` /
+``Path.write_bytes`` in the experiments package (and the fuzzer's
+corpus/banking modules) unless the write is:
+
+* inside one of the blessed helpers themselves (``atomic_write_json``,
+  ``atomic_write_text``, ``Journal.append``); or
+* inside a function that also calls ``os.replace`` — the inlined
+  tmp-then-rename idiom the worker-outcome writers use; or
+* annotated ``# lint-allow: R3 <why>`` where a direct write is
+  intentional (nothing under a store/journal root may be).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.lint.framework import (
+    Finding,
+    FunctionInfo,
+    ModuleInfo,
+    RepoIndex,
+    Rule,
+    in_scope,
+)
+
+SCOPE = ("experiments/", "validation/corpus.py", "validation/fuzz.py")
+
+#: Functions allowed to perform the raw write: the atomic helpers and
+#: the fsynced journal appender.
+APPROVED_WRITERS = ("atomic_write_json", "atomic_write_text",
+                    "Journal.append")
+
+_WRITE_MODES = ("w", "a", "x")
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """True when an ``open(...)`` call requests a write/append mode."""
+    mode = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        mode = node.args[1].value
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+    return isinstance(mode, str) and any(flag in mode for flag in _WRITE_MODES)
+
+
+class DurabilityRule(Rule):
+    rule_id = "R3"
+    name = "durability"
+    description = ("durable-layer writes must go through atomic_write_json/"
+                   "atomic_write_text/Journal.append or an explicit "
+                   "tmp+os.replace in the same function")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, module in index.modules.items():
+            if not in_scope(relpath, SCOPE):
+                continue
+            for func in module.functions.values():
+                findings.extend(self._check_function(module, func))
+        return findings
+
+    def _check_function(self, module: ModuleInfo,
+                        func: FunctionInfo) -> List[Finding]:
+        if any(func.qualname == name or func.qualname.endswith(f".{name}")
+               for name in APPROVED_WRITERS):
+            return []
+        # The inlined tmp+rename idiom: a function that replaces its way
+        # into the destination may open the temp file directly.
+        if any(call.dotted == "os.replace" for call in func.calls):
+            return []
+
+        findings: List[Finding] = []
+
+        def finding(line: int, detail: str, what: str) -> None:
+            findings.append(Finding(
+                rule=self.rule_id, path=module.relpath, line=line,
+                symbol=func.qualname, detail=detail,
+                message=f"bare durable write ({what}) outside the "
+                        f"tmp+os.replace helpers — a crash mid-write leaves "
+                        f"a torn file for the resume path to trip on; route "
+                        f"it through atomic_write_json/atomic_write_text "
+                        f"(repro.experiments.store) or Journal.append"))
+
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            # Skip calls belonging to nested function definitions: they
+            # are visited with their own FunctionInfo.
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                if _open_write_mode(node):
+                    finding(node.lineno, "open-write", "open(..., write mode)")
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in ("write_text", "write_bytes")):
+                finding(node.lineno, node.func.attr,
+                        f"Path.{node.func.attr}")
+        # Drop findings that actually sit inside a nested def (those get
+        # their own pass through _check_function).
+        nested_ranges = [
+            (child.lineno, max(getattr(child, "end_lineno", child.lineno),
+                               child.lineno))
+            for child in ast.walk(func.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not func.node]
+        if nested_ranges:
+            findings = [f for f in findings
+                        if not any(lo <= f.line <= hi
+                                   for lo, hi in nested_ranges)]
+        return findings

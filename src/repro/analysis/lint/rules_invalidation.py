@@ -1,0 +1,186 @@
+"""R2 — invalidation discipline: mapping mutations must reach a shootdown.
+
+Every hard staleness bug this reproduction has shipped-and-fixed was a
+mutation that forgot its invalidation: PR 4's kernel remaps left stale
+TLB entries until ``MimicOS.tlb_shootdown`` broadcasts were wired into
+khugepaged collapse, reclaim, munmap and the Utopia evictions; PR 4
+also caught RMM's range-lookaside buffer translating through removed
+ranges; PR 7's fuzzer caught the nested TLB invalidating only the exact
+faulting key of a 2 MB combined translation.  This rule encodes the
+discipline those fixes share, in two local checks:
+
+**Owned-cache check** (``pagetables``, ``mmu``, ``mimicos``): a class
+whose ``__init__`` wires up a translation-cache attribute — ``self.X =
+K(...)`` where ``K`` is a class *in the same module* exposing an
+``invalidate``/``flush``/``clear``-like method — must, from every
+mutating method (``remove``/``unmap``/``evict``/``collapse``/… by
+name), reach a call through ``self.X`` to one of those methods (or
+rebuild ``self.X`` outright) in the intra-module call graph.  Deleting
+``self.rlb.invalidate(...)`` from ``RMM._remove_structure``
+re-introduces the PR 4 bug and fires this check.
+
+**Broadcast check** (``mimicos``, ``mmu``): any mutating-named function
+must reach *some* invalidation — a call whose name matches
+``tlb_shootdown``/``invalidate*``/``flush*``, or a version bump
+(``….version += 1``, the contract the MMU's VPN translation cache
+watches).  Where the invalidation contract is genuinely held by the
+caller (e.g. ``SwapManager.swap_out`` is pure bookkeeping and MimicOS
+broadcasts at the reclaim site), the site carries an inline
+``# lint-allow: R2`` pragma whose comment states exactly that.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.analysis.lint.framework import (
+    Finding,
+    FunctionInfo,
+    ModuleInfo,
+    RepoIndex,
+    Rule,
+    in_scope,
+)
+
+OWNED_CACHE_SCOPE = ("pagetables/", "mmu/", "mimicos/")
+BROADCAST_SCOPE = ("mimicos/", "mmu/")
+
+#: Method names that mutate the mapping state.
+MUTATION_RE = re.compile(
+    r"(^|_)(munmap|unmap|swap_out|collapse|remap|migrate|reclaim|remove)(_|$)")
+#: Additional mutators only meaningful for owned-cache classes (a TLB's
+#: own ``evict`` IS the invalidation, so ``evict`` stays out of the
+#: broadcast check).
+OWNED_MUTATION_RE = re.compile(
+    r"(^|_)(munmap|unmap|swap_out|collapse|remap|migrate|reclaim|remove|evict)(_|$)")
+#: Names that *perform* invalidation (never treated as mutation sites,
+#: always accepted as reachability witnesses).
+INVALIDATION_RE = re.compile(r"(invalidate|flush|shootdown)")
+#: Method names that mark a class as a translation cache (it offers
+#: explicit invalidation) and that a mutator may call to satisfy R2.
+#: Deliberately narrow — accepting e.g. ``.clear()`` would let any dict
+#: housekeeping pass as an invalidation witness.
+CACHE_INVALIDATION_RE = re.compile(r"(invalidate|flush)")
+
+
+def _is_invalidation_name(name: str) -> bool:
+    return INVALIDATION_RE.search(name) is not None
+
+
+def _general_witness(func: FunctionInfo) -> Optional[int]:
+    """A line where ``func`` invalidates something, or ``None``."""
+    for call in func.calls:
+        if INVALIDATION_RE.search(call.tail):
+            return call.line
+    for event in func.events:
+        # The versioned-invalidation contract: the VPN translation cache
+        # (and the nested units) watch `<structure>.version`.
+        if event.kind == "augassign" and event.dotted.endswith(".version"):
+            return event.line
+    return None
+
+
+class InvalidationRule(Rule):
+    rule_id = "R2"
+    name = "invalidation"
+    description = ("mapping-mutation methods must reach a tlb_shootdown/"
+                   "invalidate/version-bump; owned translation caches must "
+                   "be invalidated by their owner's mutators")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, module in index.modules.items():
+            if in_scope(relpath, OWNED_CACHE_SCOPE):
+                findings.extend(self._check_owned_caches(index, module))
+            if in_scope(relpath, BROADCAST_SCOPE):
+                findings.extend(self._check_broadcasts(index, module))
+        return findings
+
+    # -- owned-cache check --------------------------------------------- #
+    def _cache_attrs(self, module: ModuleInfo, cls) -> List[str]:
+        attrs = []
+        for attr, class_name in cls.attr_classes.items():
+            target = module.classes.get(class_name)
+            if target is None:
+                continue
+            if any(CACHE_INVALIDATION_RE.search(name)
+                   for name in target.methods):
+                attrs.append(attr)
+        return attrs
+
+    def _check_owned_caches(self, index: RepoIndex,
+                            module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in module.classes.values():
+            cache_attrs = self._cache_attrs(module, cls)
+            if not cache_attrs:
+                continue
+            witness = self._owned_witness(cache_attrs)
+            for method in cls.methods.values():
+                if method.name == "__init__":
+                    continue
+                if not OWNED_MUTATION_RE.search(method.name):
+                    continue
+                if _is_invalidation_name(method.name):
+                    continue
+                if index.reaches(module.relpath, method.qualname,
+                                 witness) is None:
+                    caches = ", ".join(
+                        f"self.{attr} ({cls.attr_classes[attr]})"
+                        for attr in cache_attrs)
+                    findings.append(Finding(
+                        rule=self.rule_id, path=module.relpath,
+                        line=method.line, symbol=method.qualname,
+                        detail="stale-cache:" + ",".join(cache_attrs),
+                        message=f"mutating method {method.qualname} never "
+                                f"invalidates the owned translation "
+                                f"cache(s) {caches} — stale entries survive "
+                                f"the mutation (the PR 4 RMM "
+                                f"range-lookaside bug class)"))
+        return findings
+
+    @staticmethod
+    def _owned_witness(cache_attrs: List[str]):
+        rebuilds = {f"self.{attr}" for attr in cache_attrs}
+
+        def predicate(func: FunctionInfo) -> Optional[int]:
+            for call in func.calls:
+                # Accept an invalidation-shaped call on anything reachable:
+                # owners routinely alias `self.pwc_pmd` into a loop local
+                # before calling `.invalidate`, which a name-based pass
+                # cannot track, and a spurious *other*-cache invalidation
+                # alongside a forgotten one is not a bug shape this repo
+                # has ever produced.
+                if CACHE_INVALIDATION_RE.search(call.tail):
+                    return call.line
+            for event in func.events:
+                # Rebuilding a cache object outright is a flush.
+                if event.kind == "assign" and event.dotted in rebuilds:
+                    return event.line
+            return None
+        return predicate
+
+    # -- broadcast check ----------------------------------------------- #
+    def _check_broadcasts(self, index: RepoIndex,
+                          module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for func in module.functions.values():
+            if not MUTATION_RE.search(func.name):
+                continue
+            if _is_invalidation_name(func.name):
+                continue
+            if index.reaches(module.relpath, func.qualname,
+                             _general_witness) is None:
+                findings.append(Finding(
+                    rule=self.rule_id, path=module.relpath,
+                    line=func.line, symbol=func.qualname,
+                    detail="no-shootdown",
+                    message=f"mapping mutation {func.qualname} never reaches "
+                            f"a tlb_shootdown/invalidate/flush call or a "
+                            f"version bump in this module — cached "
+                            f"translations go stale (the PR 4 missing-"
+                            f"shootdown bug class); if the caller holds the "
+                            f"invalidation contract, document it with an "
+                            f"inline '# lint-allow: R2 <why>' pragma"))
+        return findings

@@ -1,0 +1,205 @@
+"""R5 — parity surface: the report reads real counters, engines stay twins.
+
+The differential harness (PR 4) promises that the legacy per-object
+engine and the batch engine produce bit-identical
+:class:`~repro.core.report.SimulationReport`\\ s.  That promise has two
+static preconditions this rule checks:
+
+* **every counter ``build_report`` reads must exist** — each string
+  literal fetched via ``.get("name")`` inside ``build_report`` must be
+  written somewhere in the tree (a ``counters.add("name")`` /
+  ``counters.hot("name")`` binding, or a key of a dict built by a
+  ``stats()`` / ``latency_breakdown()`` method).  A renamed counter
+  otherwise silently turns a report field into a constant 0 — on *both*
+  engines, which is exactly the shape the dynamic parity oracle cannot
+  see;
+* **engine-paired methods touch identical counters** — for every
+  ``<name>_batch`` method with a ``<name>_stream`` (or bare ``<name>``)
+  partner in the same class, the transitive set of counter names each
+  touches (literal ``.add``/``.hot`` calls plus hot-cell increments
+  mapped through the ``__init__`` bindings) must be equal.  A counter
+  touched by one engine only is a guaranteed future divergence — the
+  class of asymmetry PR 2 hand-audited into ``execute_kernel_batch``.
+
+Counters named in ``HOST_ONLY_KEYS`` (the exclusion list
+``repro/validation/parity.py`` already maintains for host-cost fields
+like ``host_seconds``) are exempt from the pairing requirement, as host
+cost legitimately differs between engines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.framework import (
+    Finding,
+    FunctionInfo,
+    ModuleInfo,
+    RepoIndex,
+    Rule,
+    in_scope,
+)
+
+#: Modules whose classes are checked for engine-paired methods.
+PAIR_SCOPE = ("core/", "mmu/", "mimicos/", "memhier/", "workloads/")
+
+#: Functions whose returned dict-literal keys count as counter writers
+#: (the report reads them via ``breakdown.get("frontend")`` etc.).
+_DICT_WRITER_FUNCTIONS = ("stats", "latency_breakdown")
+
+
+def _string_arg(node: ast.Call) -> Optional[str]:
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+class ParitySurfaceRule(Rule):
+    rule_id = "R5"
+    name = "parity-surface"
+    description = ("counters read by build_report must be written somewhere; "
+                   "engine-paired *_batch/*_stream methods must touch "
+                   "identical counter sets (HOST_ONLY_KEYS exempt)")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        reads = self._report_reads(index)
+        if reads:
+            writers = self._writer_names(index)
+            for module, func, name, line in reads:
+                if name not in writers:
+                    findings.append(Finding(
+                        rule=self.rule_id, path=module.relpath, line=line,
+                        symbol=func.qualname, detail=f"orphan:{name}",
+                        message=f"build_report reads counter {name!r} but "
+                                f"nothing in the tree ever writes it — the "
+                                f"report field is a constant 0 on both "
+                                f"engines, which the dynamic parity oracle "
+                                f"cannot catch"))
+        findings.extend(self._check_pairs(index))
+        return findings
+
+    # -- read/write surface -------------------------------------------- #
+    def _report_reads(self, index: RepoIndex,
+                      ) -> List[Tuple[ModuleInfo, FunctionInfo, str, int]]:
+        reads = []
+        for module, func in index.find_functions("build_report"):
+            for node in ast.walk(func.node):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "get"):
+                    name = _string_arg(node)
+                    if name is not None:
+                        reads.append((module, func, name, node.lineno))
+        return reads
+
+    def _writer_names(self, index: RepoIndex) -> Set[str]:
+        writers: Set[str] = set()
+        for module in index.modules.values():
+            for func in module.functions.values():
+                for node in ast.walk(func.node):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in ("add", "hot")):
+                        name = _string_arg(node)
+                        if name is not None:
+                            writers.add(name)
+                if func.name in _DICT_WRITER_FUNCTIONS:
+                    for node in ast.walk(func.node):
+                        if isinstance(node, ast.Dict):
+                            for key in node.keys:
+                                if isinstance(key, ast.Constant) \
+                                        and isinstance(key.value, str):
+                                    writers.add(key.value)
+        return writers
+
+    # -- engine pairing ------------------------------------------------ #
+    def _check_pairs(self, index: RepoIndex) -> List[Finding]:
+        exempt = set(index.find_string_constant("HOST_ONLY_KEYS"))
+        findings: List[Finding] = []
+        for relpath, module in index.modules.items():
+            if not in_scope(relpath, PAIR_SCOPE):
+                continue
+            for cls in module.classes.values():
+                for method in list(cls.methods.values()):
+                    if not method.name.endswith("_batch"):
+                        continue
+                    stem = method.name[:-len("_batch")]
+                    partner = (cls.methods.get(f"{stem}_stream")
+                               or cls.methods.get(stem))
+                    if partner is None:
+                        continue
+                    batch_set = self._touched(index, module, cls,
+                                              method.qualname)
+                    partner_set = self._touched(index, module, cls,
+                                                partner.qualname)
+                    diff = sorted((batch_set ^ partner_set) - exempt)
+                    if diff:
+                        only_batch = sorted(
+                            (batch_set - partner_set) - exempt)
+                        only_partner = sorted(
+                            (partner_set - batch_set) - exempt)
+                        describe = []
+                        if only_batch:
+                            describe.append(f"only {method.name}: "
+                                            f"{', '.join(only_batch)}")
+                        if only_partner:
+                            describe.append(f"only {partner.name}: "
+                                            f"{', '.join(only_partner)}")
+                        findings.append(Finding(
+                            rule=self.rule_id, path=module.relpath,
+                            line=method.line,
+                            symbol=method.qualname,
+                            detail="pair:" + ",".join(diff),
+                            message=f"engine pair {method.qualname} / "
+                                    f"{partner.qualname} touch different "
+                                    f"counter sets ({'; '.join(describe)}) — "
+                                    f"the engines will diverge on the parity "
+                                    f"lattice; register genuinely host-only "
+                                    f"counters in HOST_ONLY_KEYS"))
+        return findings
+
+    def _touched(self, index: RepoIndex, module: ModuleInfo, cls,
+                 start: str) -> Set[str]:
+        """Transitive counter names touched from ``start`` (intra-module)."""
+        graph = index.call_graph(module.relpath)
+        touched: Set[str] = set()
+        seen: Set[str] = set()
+        queue = [start]
+        while queue:
+            qualname = queue.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            func = module.functions.get(qualname)
+            if func is None:
+                continue
+            touched |= self._touched_direct(module, func)
+            queue.extend(graph.get(qualname, ()))
+        return touched
+
+    def _touched_direct(self, module: ModuleInfo,
+                        func: FunctionInfo) -> Set[str]:
+        touched: Set[str] = set()
+        hot = {}
+        if func.class_name and func.class_name in module.classes:
+            hot = module.classes[func.class_name].hot_bindings
+        for node in ast.walk(func.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("add", "hot")):
+                name = _string_arg(node)
+                if name is not None:
+                    touched.add(name)
+        for event in func.events:
+            # Hot-cell increments: self._c_x[0] += n, with _c_x bound to
+            # counters.hot("x") in __init__.
+            if event.kind in ("augassign", "assign") \
+                    and event.dotted.endswith("[]"):
+                parts = event.dotted[:-2].split(".")
+                if len(parts) == 2 and parts[0] == "self" \
+                        and parts[1] in hot:
+                    touched.add(hot[parts[1]])
+        return touched

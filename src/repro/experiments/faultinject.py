@@ -18,7 +18,8 @@ fully deterministic: the same plan against the same grid injects the
 same faults in every run, which is what lets the robustness tests assert
 *bit-identical* final digests between a faulted run and a fault-free
 straight-line run.  :meth:`FaultPlan.seeded` picks victims with a seeded
-``random.Random`` (never the salted builtin ``hash``) for the same
+:class:`~repro.common.rng.DeterministicRNG` (never the salted builtin
+``hash``) for the same
 reason.
 
 Plans are plain dataclasses (picklable: they travel to worker processes)
@@ -31,8 +32,8 @@ stream, and a leased worker that goes silent (heartbeats dropped) so the
 server's lease-reclaim machinery must fire.  Those are described by a
 :class:`NetworkFaultPlan` — same philosophy as :class:`FaultPlan`:
 deterministic (actions keyed on the client's cumulative send-frame index
-or on ``(job, attempt)``, victims drawn by a seeded ``random.Random``),
-picklable, JSON round-trippable — so every network failure mode is
+or on ``(job, attempt)``, victims drawn by a seeded
+:class:`~repro.common.rng.DeterministicRNG`), picklable, JSON round-trippable — so every network failure mode is
 exercised by seeded tests rather than hoped-for.
 """
 
@@ -40,10 +41,11 @@ from __future__ import annotations
 
 import json
 import os
-import random
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from repro.common.rng import DeterministicRNG
 
 #: Exit code of an injected worker crash (distinctive in supervisor logs).
 CRASH_EXIT_CODE = 213
@@ -121,7 +123,8 @@ class FaultPlan:
         """A seeded plan injecting faults into distinct victims.
 
         Victims are drawn without replacement by a seeded
-        ``random.Random`` over the sorted job names, so the same
+        :class:`~repro.common.rng.DeterministicRNG` over the sorted job
+        names, so the same
         ``(grid, seed)`` always targets the same jobs.  ``crash`` and
         ``hang`` victims fail on attempt 1 only; each ``flaky`` victim
         raises :class:`TransientFault` on attempts ``1..flaky_attempts``
@@ -132,7 +135,7 @@ class FaultPlan:
         if wanted > len(names):
             raise ValueError(f"plan wants {wanted} distinct victims but the "
                              f"grid has only {len(names)} jobs")
-        rng = random.Random(seed)
+        rng = DeterministicRNG(seed)
         victims = rng.sample(names, wanted)
         actions: List[FaultAction] = []
         cursor = 0
@@ -274,13 +277,14 @@ class NetworkFaultPlan:
         """A seeded plan spraying frame faults over the clients' early
         frames plus ``heartbeat_drops`` silent-owner victims.
 
-        Victims and frame indices are drawn by a seeded ``random.Random``
-        over the *sorted* inputs, so the same ``(seed, clients, jobs)``
+        Victims and frame indices are drawn by a seeded
+        :class:`~repro.common.rng.DeterministicRNG` over the *sorted*
+        inputs, so the same ``(seed, clients, jobs)``
         always yields the same plan.  Frame faults target frames
         ``1..frame_window`` (never frame 0: the ``hello`` handshake stays
         clean so client identity is established before faults fire).
         """
-        rng = random.Random(seed)
+        rng = DeterministicRNG(seed)
         actions: List[NetworkFaultAction] = []
         client_pool = sorted(clients)
         if not client_pool and (drops or delays or disconnects or garbage):
@@ -291,8 +295,8 @@ class NetworkFaultPlan:
             for _ in range(count):
                 actions.append(NetworkFaultAction(
                     kind, side=side,
-                    client=client_pool[rng.randrange(len(client_pool))],
-                    frame=1 + rng.randrange(frame_window),
+                    client=client_pool[rng.randint(0, len(client_pool) - 1)],
+                    frame=rng.randint(1, frame_window),
                     delay_seconds=delay_seconds))
         if heartbeat_drops:
             names = sorted(job_names)

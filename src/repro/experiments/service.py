@@ -74,6 +74,7 @@ from repro.experiments.store import (
     Journal,
     ResultStore,
     active_journal_keys,
+    atomic_write_json,
     content_key,
 )
 from repro.experiments.sweep import (
@@ -540,9 +541,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                  backoff=args.backoff, fault_plan=fault_plan,
                                  server=args.server)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(digest, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.json, digest)
     service = digest["service"]
     print(f"service run: {len(digest['points'])}/{service['jobs']} points "
           f"({service['cache_hits']} cached, {service['executed']} executed, "

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.faultinject import NetworkFaultPlan
-from repro.experiments.store import Journal
+from repro.experiments.store import Journal, atomic_write_text
 from repro.experiments.service import demo_grid, journal_progress
 
 #: Lease/heartbeat timing of the soak servers: tight enough that a
@@ -197,7 +197,7 @@ def run_soak(clients: int = 4, points: int = 8, demo_ops: int = 3000,
     root = Path(tempfile.mkdtemp(prefix="repro-soak-"))
     ready_file = root / "ready.json"
     plan_file = root / "net_fault_plan.json"
-    plan_file.write_text(plan.to_json())
+    atomic_write_text(plan_file, plan.to_json())
     journal_path = root / "store" / "journal.jsonl"
 
     proc = _spawn_server(root / "store", ready_file, plan_file)

@@ -71,10 +71,22 @@ def atomic_write_json(path: os.PathLike, value: object, *,
     result store and by the fuzzer's corpus banking — a fuzz job SIGKILLed
     mid-bank must not leave a half-written reproducer for tier-1 to trip on.
     """
+    return atomic_write_text(path,
+                             json.dumps(value, indent=indent, sort_keys=True)
+                             + "\n")
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``).
+
+    The non-JSON sibling of :func:`atomic_write_json`, with the same
+    write-crash contract, for artefacts that are already serialised
+    (fault-plan files handed to child processes, rendered reports).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    tmp.write_text(json.dumps(value, indent=indent, sort_keys=True) + "\n")
+    tmp.write_text(text)
     os.replace(tmp, path)  # atomic within a directory
     return path
 

@@ -870,9 +870,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if undo is not None:
             undo()
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(summary, handle, indent=2)
-            handle.write("\n")
+        from repro.experiments.store import atomic_write_json
+
+        atomic_write_json(args.json, summary)
     coverage = summary["coverage"]
     print(f"fuzz: {summary['identical']}/{summary['scenarios']} identical, "
           f"{len(summary['divergences'])} divergent, "

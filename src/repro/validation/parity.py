@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import time
 import zlib
 from dataclasses import asdict, dataclass, replace
@@ -56,6 +55,7 @@ from repro.common.config import (
     VirtualizationConfig,
     scaled_system_config,
 )
+from repro.common.rng import DeterministicRNG
 from repro.common.stats import LatencyDistribution
 from repro.core.report import SimulationReport
 from repro.pagetables.factory import nested_capable_kinds, registered_kinds
@@ -211,7 +211,7 @@ def sample_lattice(size: int = 40, seed: int = 2025) -> List[ParityPoint]:
     less.
     """
     points = full_lattice()
-    rng = random.Random(seed)
+    rng = DeterministicRNG(seed)
     rng.shuffle(points)
     selected: List[ParityPoint] = []
     covered_kinds = set()

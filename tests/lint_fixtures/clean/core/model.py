@@ -1,0 +1,18 @@
+"""R1 negative fixtures: the sanctioned ways to draw and to time."""
+
+import random
+import time
+
+
+def seeded_draw(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def host_cost():
+    # perf_counter is the sanctioned host clock (host_seconds metric).
+    return time.perf_counter()
+
+
+def stable_key(obj):
+    return hash((obj.pid, obj.vpn))

@@ -1,0 +1,17 @@
+"""R3 negative fixtures: inlined tmp+os.replace idiom and read-only opens."""
+
+import os
+
+
+def save_digest(path, payload):
+    # The inlined atomic idiom: the bare open targets the temp file and
+    # os.replace in the same function publishes it.
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def load_digest(path):
+    with open(path) as handle:
+        return handle.read()

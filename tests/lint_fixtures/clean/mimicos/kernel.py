@@ -1,0 +1,24 @@
+"""R2 broadcast-check negative fixtures: shootdown call and version bump."""
+
+
+class Kernel:
+    def __init__(self):
+        self.mappings = {}
+        self.version = 0
+
+    def tlb_shootdown(self, vma):
+        pass
+
+    def munmap(self, vma):
+        self.mappings.pop(vma, None)
+        self.tlb_shootdown(vma)
+
+    def remove_page(self, vpn):
+        # The versioned-invalidation contract the VPN cache watches.
+        self.mappings.pop(vpn, None)
+        self.version += 1
+
+    def reclaim(self, count):
+        # Transitive witness: reaches the shootdown through remove_page.
+        for vpn in list(self.mappings)[:count]:
+            self.remove_page(vpn)

@@ -1,0 +1,30 @@
+"""R2 negative fixture: every mutator reaches its cache invalidation."""
+
+
+class WalkCache:
+    def __init__(self):
+        self.entries = {}
+
+    def invalidate(self, key):
+        self.entries.pop(key, None)
+
+    def lookup(self, key):
+        return self.entries.get(key)
+
+
+class Table:
+    def __init__(self):
+        self.cache = WalkCache()
+        self.mappings = {}
+
+    def remove_mapping(self, key):
+        self.mappings.pop(key, None)
+        self.cache.invalidate(key)
+
+    def remove_all(self):
+        # Rebuilding the cache outright counts as a flush.
+        self.mappings = {}
+        self.cache = WalkCache()
+
+    def lookup(self, key):
+        return self.cache.lookup(key) or self.mappings.get(key)

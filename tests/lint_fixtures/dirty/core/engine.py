@@ -1,0 +1,21 @@
+"""R5 positive fixtures: asymmetric engine pair and an orphan report read."""
+
+
+class Engine:
+    def __init__(self, counters):
+        self.counters = counters
+        self._c_steps = self.counters.hot("steps")
+
+    def execute(self, ops):
+        for _ in ops:
+            self._c_steps[0] += 1
+            self.counters.add("ops_retired")
+
+    def execute_batch(self, ops):
+        # BUG SHAPE: never touches ops_retired — the engines diverge.
+        self._c_steps[0] += len(ops)
+
+
+def build_report(counters):
+    # BUG SHAPE: nothing ever writes this counter; the field is always 0.
+    return {"walks": counters.get("page_walks_typo")}

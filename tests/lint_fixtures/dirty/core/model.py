@@ -1,0 +1,31 @@
+"""R1 positive fixtures: every determinism violation shape in one module."""
+
+import random
+import time
+from random import choice
+
+
+def schedule_jitter():
+    # Unseeded module-level draw: flagged.
+    return random.random()
+
+
+def pick_victim(items):
+    # `from random import choice` alias: resolved back to random.choice.
+    return choice(items)
+
+
+def stamp():
+    # Wall clock in a simulation package: flagged.
+    return time.time()
+
+
+def identity_key(obj):
+    # Process-specific hash: flagged.
+    return hash(id(obj))
+
+
+def seeded_ok(seed):
+    # Explicitly seeded generator: allowed.
+    rng = random.Random(seed)
+    return rng.random()

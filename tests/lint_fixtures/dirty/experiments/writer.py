@@ -1,0 +1,14 @@
+"""R3 positive fixtures: bare durable writes outside the atomic helpers."""
+
+import json
+
+
+def save_digest(path, digest):
+    # BUG SHAPE: a crash mid-dump leaves a torn JSON file.
+    with open(path, "w") as handle:
+        json.dump(digest, handle)
+
+
+def save_plan(path, text):
+    # BUG SHAPE: Path.write_text truncates before it writes.
+    path.write_text(text)

@@ -1,0 +1,19 @@
+"""R2 broadcast-check positive fixture plus a pragma-suppressed sibling."""
+
+
+class Kernel:
+    def __init__(self):
+        self.mappings = {}
+
+    def munmap(self, vma):
+        # BUG SHAPE: no tlb_shootdown / invalidate / version bump reachable.
+        self.mappings.pop(vma, None)
+
+
+class Bookkeeper:
+    def __init__(self):
+        self.mappings = {}
+
+    # lint-allow: R2 caller broadcasts the shootdown (fixture rationale)
+    def munmap(self, vma):
+        self.mappings.pop(vma, None)

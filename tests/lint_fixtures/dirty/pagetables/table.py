@@ -1,0 +1,25 @@
+"""R2 positive fixture: owner mutates without invalidating its cache."""
+
+
+class WalkCache:
+    def __init__(self):
+        self.entries = {}
+
+    def invalidate(self, key):
+        self.entries.pop(key, None)
+
+    def lookup(self, key):
+        return self.entries.get(key)
+
+
+class Table:
+    def __init__(self):
+        self.cache = WalkCache()
+        self.mappings = {}
+
+    def remove_mapping(self, key):
+        # BUG SHAPE: the owned WalkCache keeps serving the dead mapping.
+        self.mappings.pop(key, None)
+
+    def lookup(self, key):
+        return self.cache.lookup(key) or self.mappings.get(key)

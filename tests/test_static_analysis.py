@@ -1,0 +1,235 @@
+"""Tests for the invariant lint (``repro.analysis.lint``).
+
+Each rule gets a positive (dirty fixture tree) and a negative (clean
+fixture tree) case, the baseline workflow is exercised end-to-end
+through the real CLI entry point, and the one sensitivity test that
+matters most — deleting the RMM range-lookaside invalidation that PR 4
+fixed — is run against a mutated copy of the *real* source file, so the
+rule is proven against the real bug, not just a toy fixture.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    AsyncSafetyRule,
+    DeterminismRule,
+    DurabilityRule,
+    InvalidationRule,
+    ParitySurfaceRule,
+    RepoIndex,
+    default_rules,
+    load_baseline,
+    run_rules,
+    save_baseline,
+    split_findings,
+)
+from repro.analysis.lint.__main__ import PACKAGE_ROOT, main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+DIRTY = FIXTURES / "dirty"
+CLEAN = FIXTURES / "clean"
+
+
+def lint_tree(root, rule):
+    """Run one rule over a fixture tree; returns (findings, suppressed)."""
+    report = run_rules(RepoIndex.build(root), [rule()])
+    return report.findings, report.suppressed
+
+
+def keys(findings):
+    return {(f.rule, f.path, f.symbol, f.detail) for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# R1 determinism
+# --------------------------------------------------------------------- #
+def test_r1_flags_every_violation_shape():
+    findings, _ = lint_tree(DIRTY, DeterminismRule)
+    got = keys(findings)
+    assert ("R1", "core/model.py", "schedule_jitter", "random.random") in got
+    assert ("R1", "core/model.py", "pick_victim", "random.choice") in got
+    assert ("R1", "core/model.py", "stamp", "time.time") in got
+    assert ("R1", "core/model.py", "identity_key", "hash(id())") in got
+    # The seeded constructor is never flagged.
+    assert not any(f.symbol == "seeded_ok" for f in findings)
+
+
+def test_r1_clean_tree_is_clean():
+    findings, _ = lint_tree(CLEAN, DeterminismRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R2 invalidation
+# --------------------------------------------------------------------- #
+def test_r2_owned_cache_and_broadcast_positives():
+    findings, suppressed = lint_tree(DIRTY, InvalidationRule)
+    got = keys(findings)
+    assert ("R2", "pagetables/table.py", "Table.remove_mapping",
+            "stale-cache:cache") in got
+    assert ("R2", "mimicos/kernel.py", "Kernel.munmap", "no-shootdown") in got
+    # The pragma-annotated sibling is suppressed, not reported.
+    assert any(f.symbol == "Bookkeeper.munmap" for f in suppressed)
+    assert not any(f.symbol == "Bookkeeper.munmap" for f in findings)
+
+
+def test_r2_clean_tree_accepts_all_witness_shapes():
+    # Direct call, transitive call, version bump, and cache rebuild.
+    findings, _ = lint_tree(CLEAN, InvalidationRule)
+    assert findings == []
+
+
+def test_r2_detects_removed_rmm_invalidation(tmp_path):
+    """Deleting the PR 4 RLB invalidation from the real source fires R2."""
+    source = (PACKAGE_ROOT / "pagetables" / "rmm.py").read_text()
+    assert "self.rlb.invalidate(entry.virtual_start)" in source
+    target = tmp_path / "pagetables" / "rmm.py"
+    target.parent.mkdir(parents=True)
+
+    # Unmodified copy: clean.
+    target.write_text(source)
+    findings, _ = lint_tree(tmp_path, InvalidationRule)
+    assert not any(f.symbol.endswith("_remove_structure") for f in findings)
+
+    # Re-introduce the bug: the mutation no longer reaches the RLB.
+    target.write_text(source.replace(
+        "self.rlb.invalidate(entry.virtual_start)", "pass"))
+    findings, _ = lint_tree(tmp_path, InvalidationRule)
+    hits = [f for f in findings if f.symbol.endswith("_remove_structure")]
+    assert hits and hits[0].rule == "R2"
+    assert "rlb" in hits[0].detail
+
+
+# --------------------------------------------------------------------- #
+# R3 durability
+# --------------------------------------------------------------------- #
+def test_r3_flags_bare_writes():
+    findings, _ = lint_tree(DIRTY, DurabilityRule)
+    got = keys(findings)
+    assert ("R3", "experiments/writer.py", "save_digest", "open-write") in got
+    assert ("R3", "experiments/writer.py", "save_plan", "write_text") in got
+
+
+def test_r3_accepts_inlined_replace_and_reads():
+    findings, _ = lint_tree(CLEAN, DurabilityRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R4 async/fork safety
+# --------------------------------------------------------------------- #
+def test_r4_flags_blocking_call_and_fork_hygiene():
+    findings, _ = lint_tree(DIRTY, AsyncSafetyRule)
+    got = keys(findings)
+    assert ("R4", "experiments/server.py", "handle_client",
+            "blocking:time.sleep") in got
+    assert ("R4", "experiments/server.py", "_worker_entry",
+            "fork-hygiene:signal.set_wakeup_fd,signal.signal") in got
+
+
+def test_r4_clean_tree_is_clean():
+    findings, _ = lint_tree(CLEAN, AsyncSafetyRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R5 parity surface
+# --------------------------------------------------------------------- #
+def test_r5_flags_orphan_read_and_asymmetric_pair():
+    findings, _ = lint_tree(DIRTY, ParitySurfaceRule)
+    got = keys(findings)
+    assert ("R5", "core/engine.py", "build_report",
+            "orphan:page_walks_typo") in got
+    assert ("R5", "core/engine.py", "Engine.execute_batch",
+            "pair:ops_retired") in got
+
+
+def test_r5_clean_tree_honours_host_only_keys():
+    # execute_batch touches host_seconds extra, exempted by HOST_ONLY_KEYS.
+    findings, _ = lint_tree(CLEAN, ParitySurfaceRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Baseline workflow (through the real CLI)
+# --------------------------------------------------------------------- #
+def test_baseline_round_trip(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(DIRTY, root)
+    baseline = tmp_path / "baseline.json"
+
+    # New findings, no baseline: fail.
+    assert main(["--root", str(root), "--baseline", str(baseline)]) == 1
+
+    # Grandfather them; the same scan is now clean.
+    assert main(["--root", str(root), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    assert main(["--root", str(root), "--baseline", str(baseline)]) == 0
+
+    # Baseline keys are line-independent: shifting every finding down a
+    # few lines must not churn the grandfather list.
+    model = root / "core" / "model.py"
+    model.write_text("# shifted\n# shifted\n# shifted\n" + model.read_text())
+    assert main(["--root", str(root), "--baseline", str(baseline)]) == 0
+
+    # Remove the baseline: the findings are new again.
+    baseline.unlink()
+    assert main(["--root", str(root), "--baseline", str(baseline)]) == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(DIRTY, root)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--root", str(root), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+
+    # Fix one violation: its baseline entry goes stale, exit stays 0.
+    shutil.copy(CLEAN / "experiments" / "writer.py",
+                root / "experiments" / "writer.py")
+    out = tmp_path / "report.json"
+    assert main(["--root", str(root), "--baseline", str(baseline),
+                 "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["findings"] == 0
+    assert payload["stale_baseline_entries"] == 2  # both writer.py findings
+
+
+def test_baseline_split_round_trips_through_disk(tmp_path):
+    report = run_rules(RepoIndex.build(DIRTY), default_rules())
+    path = tmp_path / "baseline.json"
+    save_baseline(path, report.findings)
+    loaded = load_baseline(path)
+    new, baselined, stale = split_findings(report.findings, loaded)
+    assert new == [] and stale == []
+    assert len(baselined) == len(report.findings)
+
+
+def test_unknown_rule_id_is_a_usage_error(tmp_path):
+    assert main(["--root", str(DIRTY), "--no-baseline", "--rule", "R99"]) == 2
+
+
+def test_rule_filter_runs_only_selected_rule(tmp_path):
+    out = tmp_path / "report.json"
+    main(["--root", str(DIRTY), "--no-baseline", "--rule", "R3",
+          "--json", str(out)])
+    payload = json.loads(out.read_text())
+    assert set(payload["by_rule"]) == {"R3"}
+
+
+# --------------------------------------------------------------------- #
+# The repo itself
+# --------------------------------------------------------------------- #
+def test_repo_lints_clean_against_checked_in_baseline():
+    """The tree at HEAD has no non-baselined findings (the CI contract)."""
+    assert main([]) == 0
+
+
+def test_all_rules_have_distinct_ids_and_descriptions():
+    rules = default_rules()
+    assert len({rule.rule_id for rule in rules}) == len(rules) == 5
+    assert all(rule.description for rule in rules)
