@@ -1,6 +1,6 @@
 """Invariant-lint health bench: findings, baseline debt, scan shape.
 
-Runs the five AST rules (:mod:`repro.analysis.lint`) over ``src/repro``
+Runs the ten AST rules (:mod:`repro.analysis.lint`) over ``src/repro``
 and records the outcome under the ``"lint"`` key of
 ``benchmarks/perf/BENCH_perf.json``:
 
@@ -10,7 +10,12 @@ and records the outcome under the ``"lint"`` key of
   assert it never grows (grandfathered debt may only shrink);
 * files scanned, per-rule finding counts and pragma-suppression counts are
   recorded so a scope regression (a rule silently skipping a package)
-  shows up as a number.
+  shows up as a number;
+* wall-clock for the whole-program pass is gated against
+  :data:`SCAN_BUDGET_SECONDS` — the cross-module call graph, SCC
+  condensation and transitive effect summaries must stay cheap enough to
+  run on every push, or the lint stops being a pre-merge gate and
+  becomes a nightly chore.
 
 ``test_perf_smoke.py`` gates these properties against this record.
 
@@ -35,6 +40,13 @@ try:
 except ImportError:  # executed as a script: the module is a sibling file
     from kips_harness import BENCH_PATH
 
+#: Hard ceiling for one whole-program pass (all ten rules, cold caches).
+#: The PR 10 scan runs in ~2-3 s on the CI class of machine; 30 s leaves
+#: a 10x cushion for slow shared runners while still catching the
+#: failure mode that matters — an accidentally quadratic resolver or
+#: effect propagation turning the pre-merge gate into a minutes-long job.
+SCAN_BUDGET_SECONDS = 30.0
+
 
 def measure_lint() -> Dict[str, object]:
     """One full lint pass over the package, digested for the gate."""
@@ -47,7 +59,7 @@ def measure_lint() -> Dict[str, object]:
     wall_seconds = time.perf_counter() - start
 
     digest = {
-        "schema": "lint_digest/v1",
+        "schema": "lint_digest/v2",
         "python": platform.python_version(),
         "files_scanned": report.files_scanned,
         "rules_run": report.rules_run,
@@ -58,11 +70,17 @@ def measure_lint() -> Dict[str, object]:
         "suppressed_by_pragma": len(report.suppressed),
         "by_rule": report.by_rule(),
         "wall_seconds": round(wall_seconds, 4),
+        "scan_budget_seconds": SCAN_BUDGET_SECONDS,
     }
     if new:
         raise AssertionError(
             f"healthy build has {len(new)} non-baselined lint finding(s): "
             + "; ".join(finding.render() for finding in new[:5]))
+    if wall_seconds > SCAN_BUDGET_SECONDS:
+        raise AssertionError(
+            f"whole-program lint pass took {wall_seconds:.2f}s, over the "
+            f"{SCAN_BUDGET_SECONDS:.0f}s budget — the scan must stay cheap "
+            f"enough to gate every push")
     return digest
 
 

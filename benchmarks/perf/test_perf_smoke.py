@@ -343,9 +343,10 @@ def test_lint_digest_is_clean_and_baseline_never_grows():
     """The recorded lint run must attest a discipline-clean tree.
 
     The ``lint`` section (written by ``benchmarks/perf/lint_bench.py``)
-    records one pass of the five invariant rules over ``src/repro``: a
-    healthy build has zero non-baselined findings, all five rules must
-    actually have run over the full package, and the checked-in
+    records one whole-program pass of the ten invariant rules over
+    ``src/repro``: a healthy build has zero non-baselined findings, all
+    ten rules must actually have run over the full package, the pass
+    must fit the recorded scan-time budget, and the checked-in
     ``lint_baseline.json`` may never grow past the recorded size —
     grandfathered debt only shrinks, it is never added to.  The live
     baseline file is compared against the record, so a PR that baselines
@@ -360,9 +361,13 @@ def test_lint_digest_is_clean_and_baseline_never_grows():
         "the recorded lint run had non-baselined findings; fix them or "
         "annotate with '# lint-allow: <rule> <why>' "
         "(python -m repro.analysis.lint)")
-    assert digest["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+    assert digest["rules_run"] == [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"]
     assert digest["files_scanned"] >= 90, (
         "the lint scanned suspiciously few files — scope regression")
+    assert digest["wall_seconds"] <= digest["scan_budget_seconds"], (
+        "the recorded whole-program lint pass blew its scan-time budget — "
+        "the lint must stay cheap enough to gate every push")
     assert digest["stale_baseline_entries"] == 0, (
         "the baseline lists violations that no longer exist; prune it "
         "(python -m repro.analysis.lint --update-baseline)")

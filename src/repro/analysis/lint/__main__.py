@@ -7,20 +7,26 @@ is ``lint_baseline.json`` at the repo root, so the bare invocation from
 a checkout does the right thing::
 
     PYTHONPATH=src python -m repro.analysis.lint
-    PYTHONPATH=src python -m repro.analysis.lint --json lint.json
+    PYTHONPATH=src python -m repro.analysis.lint --format json > lint.json
+    PYTHONPATH=src python -m repro.analysis.lint --rules R2,R6
     PYTHONPATH=src python -m repro.analysis.lint --update-baseline
 
 ``--update-baseline`` rewrites the baseline to exactly the current
 findings — the perf-smoke gate pins its size, so regenerating it can
-only ever shrink the debt, never hide new violations.
+only ever shrink the debt, never hide new violations.  ``--format
+json`` emits the full machine-readable report on stdout (the CI
+static-analysis job archives it as a build artifact); ``--json PATH``
+additionally writes the same payload to a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.lint import (
     default_rules,
@@ -42,8 +48,10 @@ DEFAULT_BASELINE = REPO_ROOT / "lint_baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="AST invariant lint for the determinism / invalidation / "
-                    "durability / async-safety / parity disciplines")
+        description="whole-program AST invariant lint for the determinism / "
+                    "invalidation / durability / async-safety / parity / "
+                    "seed-flow / journal-ordering / protocol / resource / "
+                    "fork-hygiene disciplines")
     parser.add_argument("--root", type=Path, default=PACKAGE_ROOT,
                         help="directory to scan (default: the repro package)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
@@ -57,8 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rule", action="append", default=None,
                         metavar="RULE_ID",
                         help="run only this rule id (repeatable)")
+    parser.add_argument("--rules", default=None, metavar="R2,R6",
+                        help="comma-separated rule ids to run (fast focused "
+                             "scans; combines with --rule)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format: human text (default) or the "
+                             "machine-readable report on stdout for CI "
+                             "annotations")
     parser.add_argument("--json", type=Path, default=None,
-                        help="also write a machine-readable report here")
+                        help="also write the machine-readable report here")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
@@ -71,8 +86,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.name}: {rule.description}")
         return 0
-    if args.rule:
-        wanted = set(args.rule)
+    wanted = set(args.rule or ())
+    if args.rules:
+        wanted |= {part.strip() for part in args.rules.split(",")
+                   if part.strip()}
+    if wanted:
         unknown = wanted - {rule.rule_id for rule in rules}
         if unknown:
             print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
@@ -80,8 +98,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         rules = [rule for rule in rules if rule.rule_id in wanted]
 
+    start = time.perf_counter()
     index = RepoIndex.build(args.root)
     report = run_rules(index, rules)
+    wall_seconds = time.perf_counter() - start
     baseline = {} if args.no_baseline else load_baseline(args.baseline)
     new, baselined, stale = split_findings(report.findings, baseline)
 
@@ -92,11 +112,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"-> {args.baseline}")
         return 0
 
-    for finding in new:
-        print(finding.render())
-    for key in stale:
-        print(f"stale baseline entry (violation fixed — prune it): {key}")
-
     summary = {
         "files_scanned": report.files_scanned,
         "rules_run": report.rules_run,
@@ -106,23 +121,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stale_baseline_entries": len(stale),
         "baseline_size": len(baseline),
         "by_rule": report.by_rule(),
+        "wall_seconds": round(wall_seconds, 4),
     }
+    payload = dict(summary)
+    payload["new_findings"] = [
+        {"rule": f.rule, "path": f.path, "line": f.line,
+         "symbol": f.symbol, "message": f.message, "key": f.key}
+        for f in new]
+    payload["stale_baseline_keys"] = stale
     if args.json is not None:
-        payload = dict(summary)
-        payload["new_findings"] = [
-            {"rule": f.rule, "path": f.path, "line": f.line,
-             "symbol": f.symbol, "message": f.message, "key": f.key}
-            for f in new]
-        payload["stale_baseline_keys"] = stale
         atomic_write_json(args.json, payload)
 
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if new else 0
+
+    for finding in new:
+        print(finding.render())
+    for key in stale:
+        print(f"stale baseline entry (violation fixed — prune it): {key}")
+
+    by_rule = ", ".join(f"{rule_id}:{count}" for rule_id, count
+                        in sorted(report.by_rule().items())) or "none"
     status = "FAIL" if new else "ok"
     print(f"lint {status}: {report.files_scanned} files, "
           f"rules {','.join(report.rules_run)}, "
           f"{len(new)} new finding(s), {len(baselined)} baselined, "
           f"{len(report.suppressed)} pragma-suppressed, "
           f"{len(stale)} stale baseline entr"
-          f"{'y' if len(stale) == 1 else 'ies'}")
+          f"{'y' if len(stale) == 1 else 'ies'} "
+          f"[per-rule {by_rule}] in {wall_seconds:.2f}s")
     return 1 if new else 0
 
 

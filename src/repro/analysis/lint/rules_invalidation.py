@@ -7,36 +7,45 @@ khugepaged collapse, reclaim, munmap and the Utopia evictions; PR 4
 also caught RMM's range-lookaside buffer translating through removed
 ranges; PR 7's fuzzer caught the nested TLB invalidating only the exact
 faulting key of a 2 MB combined translation.  This rule encodes the
-discipline those fixes share, in two local checks:
+discipline those fixes share, in two checks over the **whole-program**
+call graph:
 
 **Owned-cache check** (``pagetables``, ``mmu``, ``mimicos``): a class
 whose ``__init__`` wires up a translation-cache attribute — ``self.X =
-K(...)`` where ``K`` is a class *in the same module* exposing an
-``invalidate``/``flush``/``clear``-like method — must, from every
-mutating method (``remove``/``unmap``/``evict``/``collapse``/… by
-name), reach a call through ``self.X`` to one of those methods (or
-rebuild ``self.X`` outright) in the intra-module call graph.  Deleting
-``self.rlb.invalidate(...)`` from ``RMM._remove_structure``
-re-introduces the PR 4 bug and fires this check.
+K(...)`` where ``K`` is a class (local or imported) exposing an
+``invalidate``/``flush``-like method — must, from every mutating method
+(``remove``/``unmap``/``evict``/``collapse``/… by name), reach a call
+to one of those methods (or rebuild ``self.X`` outright) somewhere in
+the whole-program call graph.  Deleting ``self.rlb.invalidate(...)``
+from ``RMM._remove_structure`` re-introduces the PR 4 bug and fires
+this check.  There is deliberately no caller escape here: an owned
+cache is the owner's job, full stop.
 
 **Broadcast check** (``mimicos``, ``mmu``): any mutating-named function
 must reach *some* invalidation — a call whose name matches
 ``tlb_shootdown``/``invalidate*``/``flush*``, or a version bump
 (``….version += 1``, the contract the MMU's VPN translation cache
-watches).  Where the invalidation contract is genuinely held by the
-caller (e.g. ``SwapManager.swap_out`` is pure bookkeeping and MimicOS
-broadcasts at the reclaim site), the site carries an inline
-``# lint-allow: R2`` pragma whose comment states exactly that.
+watches) — anywhere in the whole-program graph, **or** be provably
+covered by its callers: a mutator with no witness of its own passes iff
+it has at least one in-tree caller and *every* caller (transitively) is
+covered.  This replaces PR 9's caller-holds-contract pragmas with
+proof: ``VMAManager.munmap`` is clean because its only caller chain
+(``Process.munmap`` ← ``MimicOS.munmap``) broadcasts the shootdown, and
+the pragma that used to assert that by hand is gone.  A mutator with no
+callers at all (an entry point) must carry its own witness.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.lint.framework import (
+    CACHE_INVALIDATION_TAIL_RE,
+    INVALIDATION_TAIL_RE,
     Finding,
     FunctionInfo,
+    GlobalId,
     ModuleInfo,
     RepoIndex,
     Rule,
@@ -54,56 +63,42 @@ MUTATION_RE = re.compile(
 #: broadcast check).
 OWNED_MUTATION_RE = re.compile(
     r"(^|_)(munmap|unmap|swap_out|collapse|remap|migrate|reclaim|remove|evict)(_|$)")
-#: Names that *perform* invalidation (never treated as mutation sites,
-#: always accepted as reachability witnesses).
-INVALIDATION_RE = re.compile(r"(invalidate|flush|shootdown)")
-#: Method names that mark a class as a translation cache (it offers
-#: explicit invalidation) and that a mutator may call to satisfy R2.
-#: Deliberately narrow — accepting e.g. ``.clear()`` would let any dict
-#: housekeeping pass as an invalidation witness.
-CACHE_INVALIDATION_RE = re.compile(r"(invalidate|flush)")
+#: Re-exported names (the canonical patterns live in the framework so
+#: the effect summaries and this rule cannot drift apart).
+INVALIDATION_RE = INVALIDATION_TAIL_RE
+CACHE_INVALIDATION_RE = CACHE_INVALIDATION_TAIL_RE
 
 
 def _is_invalidation_name(name: str) -> bool:
     return INVALIDATION_RE.search(name) is not None
 
 
-def _general_witness(func: FunctionInfo) -> Optional[int]:
-    """A line where ``func`` invalidates something, or ``None``."""
-    for call in func.calls:
-        if INVALIDATION_RE.search(call.tail):
-            return call.line
-    for event in func.events:
-        # The versioned-invalidation contract: the VPN translation cache
-        # (and the nested units) watch `<structure>.version`.
-        if event.kind == "augassign" and event.dotted.endswith(".version"):
-            return event.line
-    return None
-
-
 class InvalidationRule(Rule):
     rule_id = "R2"
     name = "invalidation"
     description = ("mapping-mutation methods must reach a tlb_shootdown/"
-                   "invalidate/version-bump; owned translation caches must "
-                   "be invalidated by their owner's mutators")
+                   "invalidate/version-bump in the whole-program graph (or "
+                   "every caller must); owned translation caches must be "
+                   "invalidated by their owner's mutators")
 
     def check(self, index: RepoIndex) -> List[Finding]:
         findings: List[Finding] = []
         for relpath, module in index.modules.items():
             if in_scope(relpath, OWNED_CACHE_SCOPE):
                 findings.extend(self._check_owned_caches(index, module))
-            if in_scope(relpath, BROADCAST_SCOPE):
-                findings.extend(self._check_broadcasts(index, module))
+        findings.extend(self._check_broadcasts(index))
         return findings
 
     # -- owned-cache check --------------------------------------------- #
-    def _cache_attrs(self, module: ModuleInfo, cls) -> List[str]:
+    def _cache_attrs(self, index: RepoIndex,
+                     module: ModuleInfo, cls) -> List[str]:
         attrs = []
         for attr, class_name in cls.attr_classes.items():
-            target = module.classes.get(class_name)
-            if target is None:
+            located = index._class_location(module, class_name)
+            if located is None:
                 continue
+            target_module, target_name = located
+            target = target_module.classes[target_name]
             if any(CACHE_INVALIDATION_RE.search(name)
                    for name in target.methods):
                 attrs.append(attr)
@@ -113,7 +108,7 @@ class InvalidationRule(Rule):
                             module: ModuleInfo) -> List[Finding]:
         findings: List[Finding] = []
         for cls in module.classes.values():
-            cache_attrs = self._cache_attrs(module, cls)
+            cache_attrs = self._cache_attrs(index, module, cls)
             if not cache_attrs:
                 continue
             witness = self._owned_witness(cache_attrs)
@@ -124,8 +119,8 @@ class InvalidationRule(Rule):
                     continue
                 if _is_invalidation_name(method.name):
                     continue
-                if index.reaches(module.relpath, method.qualname,
-                                 witness) is None:
+                if index.reaches_global(module.relpath, method.qualname,
+                                        witness) is None:
                     caches = ", ".join(
                         f"self.{attr} ({cls.attr_classes[attr]})"
                         for attr in cache_attrs)
@@ -144,7 +139,8 @@ class InvalidationRule(Rule):
     def _owned_witness(cache_attrs: List[str]):
         rebuilds = {f"self.{attr}" for attr in cache_attrs}
 
-        def predicate(func: FunctionInfo) -> Optional[int]:
+        def predicate(module: ModuleInfo,
+                      func: FunctionInfo) -> Optional[int]:
             for call in func.calls:
                 # Accept an invalidation-shaped call on anything reachable:
                 # owners routinely alias `self.pwc_pmd` into a loop local
@@ -162,25 +158,63 @@ class InvalidationRule(Rule):
         return predicate
 
     # -- broadcast check ----------------------------------------------- #
-    def _check_broadcasts(self, index: RepoIndex,
-                          module: ModuleInfo) -> List[Finding]:
+    def _check_broadcasts(self, index: RepoIndex) -> List[Finding]:
+        covered = self._caller_coverage(index)
         findings: List[Finding] = []
-        for func in module.functions.values():
-            if not MUTATION_RE.search(func.name):
+        for relpath, module in index.modules.items():
+            if not in_scope(relpath, BROADCAST_SCOPE):
                 continue
-            if _is_invalidation_name(func.name):
-                continue
-            if index.reaches(module.relpath, func.qualname,
-                             _general_witness) is None:
+            for func in module.functions.values():
+                if not MUTATION_RE.search(func.name):
+                    continue
+                if _is_invalidation_name(func.name):
+                    continue
+                gid = (relpath, func.qualname)
+                if covered.get(gid, False):
+                    continue
+                callers = index.reverse_graph().get(gid, set())
+                if callers:
+                    offenders = ", ".join(sorted(
+                        f"{c[0]}:{c[1]}" for c in callers
+                        if not covered.get(c, False))[:3])
+                    why = (f"and caller(s) {offenders} never broadcast one "
+                           f"either")
+                else:
+                    why = "and it has no in-tree caller to hold the contract"
                 findings.append(Finding(
                     rule=self.rule_id, path=module.relpath,
                     line=func.line, symbol=func.qualname,
                     detail="no-shootdown",
                     message=f"mapping mutation {func.qualname} never reaches "
                             f"a tlb_shootdown/invalidate/flush call or a "
-                            f"version bump in this module — cached "
-                            f"translations go stale (the PR 4 missing-"
-                            f"shootdown bug class); if the caller holds the "
-                            f"invalidation contract, document it with an "
-                            f"inline '# lint-allow: R2 <why>' pragma"))
+                            f"version bump anywhere in the program, {why} — "
+                            f"cached translations go stale (the PR 4 "
+                            f"missing-shootdown bug class)"))
         return findings
+
+    @staticmethod
+    def _caller_coverage(index: RepoIndex) -> Dict[GlobalId, bool]:
+        """``covered[f]``: f transitively invalidates, or all callers do.
+
+        A monotone (False→True) fixpoint over the reverse graph; cycles
+        of uncovered functions stay uncovered (sound), and the
+        ``Process.munmap ← MimicOS.munmap`` chain converges in two
+        sweeps.
+        """
+        graph = index.global_graph()
+        reverse = index.reverse_graph()
+        covered: Dict[GlobalId, bool] = {}
+        for gid in graph:
+            effects = index.transitive_effects(*gid)
+            covered[gid] = effects.invalidation is not None
+        changed = True
+        while changed:
+            changed = False
+            for gid in graph:
+                if covered[gid]:
+                    continue
+                callers = reverse.get(gid, ())
+                if callers and all(covered.get(c, False) for c in callers):
+                    covered[gid] = True
+                    changed = True
+        return covered

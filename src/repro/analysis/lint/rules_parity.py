@@ -20,6 +20,11 @@ static preconditions this rule checks:
   mapped through the ``__init__`` bindings) must be equal.  A counter
   touched by one engine only is a guaranteed future divergence — the
   class of asymmetry PR 2 hand-audited into ``execute_kernel_batch``.
+  The closure runs over the **whole-program** call graph (cached
+  transitive effect summaries), so a counter bumped three modules away
+  behind an imported helper still counts toward its engine's set —
+  PR 9's intra-module closure silently treated such helpers as
+  counter-free on both sides.
 
 Counters named in ``HOST_ONLY_KEYS`` (the exclusion list
 ``repro/validation/parity.py`` already maintains for host-cost fields
@@ -61,7 +66,8 @@ class ParitySurfaceRule(Rule):
     name = "parity-surface"
     description = ("counters read by build_report must be written somewhere; "
                    "engine-paired *_batch/*_stream methods must touch "
-                   "identical counter sets (HOST_ONLY_KEYS exempt)")
+                   "identical whole-program counter sets (HOST_ONLY_KEYS "
+                   "exempt)")
 
     def check(self, index: RepoIndex) -> List[Finding]:
         findings: List[Finding] = []
@@ -131,10 +137,10 @@ class ParitySurfaceRule(Rule):
                                or cls.methods.get(stem))
                     if partner is None:
                         continue
-                    batch_set = self._touched(index, module, cls,
-                                              method.qualname)
-                    partner_set = self._touched(index, module, cls,
-                                                partner.qualname)
+                    batch_set = set(index.transitive_effects(
+                        module.relpath, method.qualname).counters)
+                    partner_set = set(index.transitive_effects(
+                        module.relpath, partner.qualname).counters)
                     diff = sorted((batch_set ^ partner_set) - exempt)
                     if diff:
                         only_batch = sorted(
@@ -161,45 +167,3 @@ class ParitySurfaceRule(Rule):
                                     f"counters in HOST_ONLY_KEYS"))
         return findings
 
-    def _touched(self, index: RepoIndex, module: ModuleInfo, cls,
-                 start: str) -> Set[str]:
-        """Transitive counter names touched from ``start`` (intra-module)."""
-        graph = index.call_graph(module.relpath)
-        touched: Set[str] = set()
-        seen: Set[str] = set()
-        queue = [start]
-        while queue:
-            qualname = queue.pop(0)
-            if qualname in seen:
-                continue
-            seen.add(qualname)
-            func = module.functions.get(qualname)
-            if func is None:
-                continue
-            touched |= self._touched_direct(module, func)
-            queue.extend(graph.get(qualname, ()))
-        return touched
-
-    def _touched_direct(self, module: ModuleInfo,
-                        func: FunctionInfo) -> Set[str]:
-        touched: Set[str] = set()
-        hot = {}
-        if func.class_name and func.class_name in module.classes:
-            hot = module.classes[func.class_name].hot_bindings
-        for node in ast.walk(func.node):
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in ("add", "hot")):
-                name = _string_arg(node)
-                if name is not None:
-                    touched.add(name)
-        for event in func.events:
-            # Hot-cell increments: self._c_x[0] += n, with _c_x bound to
-            # counters.hot("x") in __init__.
-            if event.kind in ("augassign", "assign") \
-                    and event.dotted.endswith("[]"):
-                parts = event.dotted[:-2].split(".")
-                if len(parts) == 2 and parts[0] == "self" \
-                        and parts[1] in hot:
-                    touched.add(hot[parts[1]])
-        return touched

@@ -1,0 +1,214 @@
+"""R8 — protocol surface symmetry: verbs, handlers, client methods, errors.
+
+The NDJSON wire protocol (PR 8) has three synchronised surfaces: the
+verb inventory in ``protocol.py`` (the module-level ``VERBS`` tuple),
+the server dispatcher's ``verb == "…"`` chain, and the client's verb
+methods (``self.request("…")`` / a ``{"verb": "…"}`` frame).  Drift in
+any direction is a latent incident: a verb with no handler hits the
+server's unknown-verb fallback in production, a handler with no client
+method is dead (untested) surface, and a client method without a
+structured-error path turns every server-side rejection into a
+malformed-response crash on the caller — the bug class the PR 8 network
+fault matrix probes one verb at a time, where this rule checks the whole
+surface at once.
+
+Checks (scoped to ``experiments/``; a tree with no ``VERBS`` inventory
+is out of scope, so fixture trees without a protocol module stay clean):
+
+* every verb in ``VERBS`` is compared against in some dispatcher
+  (``verb == "submit"`` shape) — else **no-server-handler**;
+* every verb in ``VERBS`` is sent by some client call site
+  (``request("submit")`` or a ``{"verb": "submit"}`` literal) — else
+  **no-client-method**;
+* every dispatched or client-sent verb appears in ``VERBS`` — else
+  **undeclared-verb** (the inventory is the contract, not a comment);
+* every function that sends a verb handles structured errors: it must
+  read ``.get("error")`` or raise on the response — else
+  **no-error-path**;
+* the dispatcher itself must keep an unknown-verb fallback (a reference
+  to ``ERROR_UNKNOWN_VERB``) — else **no-unknown-verb-fallback**.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.lint.framework import (
+    Finding,
+    FunctionInfo,
+    RepoIndex,
+    Rule,
+    dotted_name,
+    in_scope,
+)
+
+SCOPE = ("experiments/",)
+
+#: Name of the inventory tuple in ``protocol.py``.
+VERBS_CONSTANT = "VERBS"
+
+
+def _compared_strings(func: FunctionInfo) -> Set[str]:
+    """Strings a variable literally named ``verb`` is ``==``-compared to.
+
+    Anchoring on the variable name keeps unrelated string comparisons in
+    the same function (job states, error codes) out of the handler
+    surface — the dispatcher convention `verb == "submit"` is part of
+    the contract this rule checks.
+    """
+    out: Set[str] = set()
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        if not any(isinstance(op, ast.Eq) for op in node.ops):
+            continue
+        if not any(isinstance(operand, ast.Name) and operand.id == "verb"
+                   for operand in operands):
+            continue
+        for operand in operands:
+            if isinstance(operand, ast.Constant) \
+                    and isinstance(operand.value, str):
+                out.add(operand.value)
+    return out
+
+
+def _sent_verbs(func: FunctionInfo) -> Dict[str, int]:
+    """verb -> line for every wire send in ``func``."""
+    sent: Dict[str, int] = {}
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            tail = dotted_name(node.func).rsplit(".", 1)[-1]
+            if tail in ("request", "_exchange") and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                sent.setdefault(node.args[0].value, node.lineno)
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (isinstance(key, ast.Constant) and key.value == "verb"
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    sent.setdefault(value.value, node.lineno)
+    return sent
+
+
+def _has_error_path(func: FunctionInfo) -> bool:
+    """True when ``func`` reads ``.get("error")`` or raises anything."""
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Raise):
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "error"):
+            return True
+    return False
+
+
+def _mentions_unknown_verb(func: FunctionInfo) -> bool:
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            name = node.attr if isinstance(node, ast.Attribute) else node.id
+            if name == "ERROR_UNKNOWN_VERB":
+                return True
+    return False
+
+
+class ProtocolSymmetryRule(Rule):
+    rule_id = "R8"
+    name = "protocol-symmetry"
+    description = ("every verb in protocol.VERBS needs a server handler, a "
+                   "client method with a structured-error path, and vice "
+                   "versa; dispatchers keep the unknown-verb fallback")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        verbs = set(index.find_string_constant(VERBS_CONSTANT))
+        if not verbs:
+            return []
+        inventory_path, inventory_line = self._inventory_site(index)
+        findings: List[Finding] = []
+
+        handled: Dict[str, Tuple[str, FunctionInfo]] = {}
+        dispatchers: List[Tuple[str, FunctionInfo]] = []
+        sent: Dict[str, Tuple[str, FunctionInfo, int]] = {}
+        for relpath, module in index.modules.items():
+            if not in_scope(relpath, SCOPE):
+                continue
+            for func in module.functions.values():
+                compared = _compared_strings(func)
+                if compared:
+                    dispatchers.append((relpath, func))
+                    for verb in compared:
+                        handled.setdefault(verb, (relpath, func))
+                for verb, line in _sent_verbs(func).items():
+                    sent.setdefault(verb, (relpath, func, line))
+                    if not _has_error_path(func):
+                        findings.append(Finding(
+                            rule=self.rule_id, path=relpath, line=line,
+                            symbol=func.qualname,
+                            detail=f"no-error-path:{verb}",
+                            message=f"{func.qualname} sends verb {verb!r} "
+                                    f"but never inspects the structured "
+                                    f"error (.get('error')) or raises — a "
+                                    f"server-side rejection surfaces as a "
+                                    f"malformed response to the caller "
+                                    f"instead of a ServerError"))
+
+        for verb in sorted(verbs):
+            if verb not in handled:
+                findings.append(Finding(
+                    rule=self.rule_id, path=inventory_path,
+                    line=inventory_line, symbol=VERBS_CONSTANT,
+                    detail=f"no-server-handler:{verb}",
+                    message=f"verb {verb!r} is in {VERBS_CONSTANT} but no "
+                            f"dispatcher ever compares against it — clients "
+                            f"sending it hit the unknown-verb fallback"))
+            if verb not in sent:
+                findings.append(Finding(
+                    rule=self.rule_id, path=inventory_path,
+                    line=inventory_line, symbol=VERBS_CONSTANT,
+                    detail=f"no-client-method:{verb}",
+                    message=f"verb {verb!r} is in {VERBS_CONSTANT} but no "
+                            f"client ever sends it — dead (untested) "
+                            f"protocol surface"))
+
+        for verb, (relpath, func) in sorted(handled.items()):
+            if verb not in verbs:
+                findings.append(Finding(
+                    rule=self.rule_id, path=relpath, line=func.line,
+                    symbol=func.qualname,
+                    detail=f"undeclared-verb:{verb}",
+                    message=f"dispatcher {func.qualname} handles verb "
+                            f"{verb!r} that is not in {VERBS_CONSTANT} — "
+                            f"add it to the inventory so the surface check "
+                            f"covers it"))
+        for verb, (relpath, func, line) in sorted(sent.items()):
+            if verb not in verbs:
+                findings.append(Finding(
+                    rule=self.rule_id, path=relpath, line=line,
+                    symbol=func.qualname,
+                    detail=f"undeclared-verb:{verb}",
+                    message=f"{func.qualname} sends verb {verb!r} that is "
+                            f"not in {VERBS_CONSTANT} — add it to the "
+                            f"inventory so the surface check covers it"))
+
+        for relpath, func in dispatchers:
+            if not _mentions_unknown_verb(func):
+                findings.append(Finding(
+                    rule=self.rule_id, path=relpath, line=func.line,
+                    symbol=func.qualname,
+                    detail="no-unknown-verb-fallback",
+                    message=f"dispatcher {func.qualname} has no "
+                            f"ERROR_UNKNOWN_VERB fallback — an undeclared "
+                            f"verb would fall through undispatched instead "
+                            f"of producing a structured error"))
+        return findings
+
+    @staticmethod
+    def _inventory_site(index: RepoIndex) -> Tuple[str, int]:
+        for relpath, module in index.modules.items():
+            if VERBS_CONSTANT in module.string_constants:
+                return relpath, 1
+        return "", 1

@@ -1,0 +1,72 @@
+"""R9 — resource lifecycle: what experiments/ opens, it provably releases.
+
+The experiment layer is the long-lived half of the repo: the lease
+server runs for days (PR 8's soak harness exists because it once
+didn't), and every leaked file handle, socket or worker pool is a slow
+counter toward fd exhaustion that no single test run ever sees.  This
+rule checks that every resource acquisition in ``experiments/`` —
+``open(...)``, ``socket.socket``/``create_connection``,
+``multiprocessing.Pool`` — has a *structurally guaranteed* release:
+
+* ``with`` — the context manager owns the release (the sanctioned
+  default);
+* escape into owner state — ``self.X = acquire(...)`` (directly or via
+  a local alias): the owner's ``close()``/lifecycle owns it, which the
+  PR 8 drain/shutdown tests exercise;
+* ``return`` of the fresh resource — ownership transfers to the caller
+  (``Journal``'s lazy ``_handle`` reopen);
+* a ``try``/``finally`` (or handler) in the same function that calls a
+  release-shaped method (``close``/``terminate``/``join``/…) — the
+  explicit cleanup idiom for multi-resource setup;
+* appearing as another call's argument is accepted (constructor
+  injection: the callee takes ownership).
+
+Anything else is a **bare** acquisition: on any exception between
+acquire and whatever cleanup exists, the resource leaks.  The effect
+summaries record each acquisition with its disposition, so this check
+is a table lookup per function.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lint.framework import (
+    Finding,
+    RepoIndex,
+    Rule,
+    in_scope,
+)
+
+SCOPE = ("experiments/",)
+
+
+class ResourceLifecycleRule(Rule):
+    rule_id = "R9"
+    name = "resource-lifecycle"
+    description = ("resources acquired in experiments/ (open/socket/pool) "
+                   "must be released on all exits: with, owner escape, "
+                   "return, or try/finally")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, module in index.modules.items():
+            if not in_scope(relpath, SCOPE):
+                continue
+            for func in module.functions.values():
+                summary = index.effects(relpath, func.qualname)
+                for event in summary.resources:
+                    if event.disposition != "bare":
+                        continue
+                    findings.append(Finding(
+                        rule=self.rule_id, path=relpath, line=event.line,
+                        symbol=func.qualname,
+                        detail=f"leak:{event.api}",
+                        message=f"{func.qualname} acquires {event.api} with "
+                                f"no structural release — not a `with`, not "
+                                f"stored on self, not returned, and no "
+                                f"try/finally cleanup in the function: any "
+                                f"exception before the release leaks the "
+                                f"fd/worker (fd exhaustion is a soak-scale "
+                                f"failure no single test sees)"))
+        return findings

@@ -1,0 +1,94 @@
+"""R6 — seed flow: every RNG construction derives from the experiment seed.
+
+R1 bans *unseeded* randomness; this rule closes the other half of the
+determinism contract: a generator that IS seeded, but from a constant
+baked into the code, silently collapses every experiment onto one random
+stream.  The repo's reproducibility chain — config hash → point seed →
+``DeterministicRNG.fork(salt)`` per subsystem — only works when each
+construction's seed argument flows from that chain.  PR 6's
+content-addressed store keys results by config (seed included), so a
+hard-coded seed makes distinct configs collide onto identical "random"
+behaviour, which the dynamic harnesses can never distinguish from a
+genuinely insensitive parameter.
+
+The check is a lightweight taint classification of the seed argument at
+every ``DeterministicRNG(...)`` / ``random.Random(...)`` construction in
+the tree (the effect summaries record these per function, resolved
+through import aliases):
+
+* **missing** — no seed argument at all: flagged (falls back to the
+  wrapper's default, shared by every caller);
+* **literal** — a constant expression (``seed=7``): flagged; where a
+  fixed default is genuinely part of the model's identity (the MimicOS
+  kernel's fallback RNG), the site carries a ``# lint-allow: R6``
+  pragma saying so;
+* **derived** — the expression mentions a seed-ish source
+  (``seed``/``salt``/``fork``/``crc32``/``entropy`` in any identifier
+  or call on the way): accepted;
+* **opaque** — anything else (a variable whose provenance a name-based
+  pass cannot see): accepted, with the limitation documented — R6 is a
+  tripwire for the two shapes that are always wrong, not a full
+  dataflow engine.
+
+``common/rng.py`` (the blessed wrapper itself) is exempt wholesale,
+exactly as it is for R1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lint.framework import (
+    Finding,
+    RepoIndex,
+    Rule,
+    in_scope,
+)
+
+#: The seeded-RNG wrapper itself (its internals wrap ``random.Random``
+#: and its default-seed signature is the API, not a construction site).
+EXEMPT_FILES = ("common/rng.py",)
+
+#: Seed kinds that are always a finding.
+_FLAGGED = {
+    "missing": ("seed-missing",
+                "constructed with no seed argument — every caller shares "
+                "the wrapper's default stream, so distinct experiment "
+                "configs collapse onto identical randomness"),
+    "literal": ("seed-literal",
+                "seeded with a constant — the seed must derive from the "
+                "config/point seed chain (e.g. rng.fork(salt) or a "
+                "config.seed expression) so distinct configs get distinct "
+                "streams; if a fixed fallback is genuinely part of the "
+                "model identity, document it with '# lint-allow: R6 <why>'"),
+}
+
+
+class SeedFlowRule(Rule):
+    rule_id = "R6"
+    name = "seed-flow"
+    description = ("DeterministicRNG/random.Random constructions must derive "
+                   "their seed from the config/point seed chain; missing or "
+                   "literal seeds are flagged")
+
+    def check(self, index: RepoIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, module in index.modules.items():
+            if in_scope(relpath, EXEMPT_FILES):
+                continue
+            for func in module.functions.values():
+                summary = index.effects(relpath, func.qualname)
+                for construct in summary.rng_constructs:
+                    flagged = _FLAGGED.get(construct.seed_kind)
+                    if flagged is None:
+                        continue
+                    slug, why = flagged
+                    shown = (f"={construct.seed_repr}"
+                             if construct.seed_repr else "")
+                    findings.append(Finding(
+                        rule=self.rule_id, path=relpath,
+                        line=construct.line, symbol=func.qualname,
+                        detail=f"{slug}:{construct.callee}{shown}",
+                        message=f"{construct.callee}(seed{shown}) in "
+                                f"{func.qualname} {why}"))
+        return findings

@@ -211,7 +211,13 @@ class ExperimentClient:
     # Verbs
     # ----------------------------------------------------------------- #
     def ping(self) -> bool:
-        return bool(self.request("ping").get("pong"))
+        response = self.request("ping")
+        if not response.get("ok"):
+            # A structured rejection of the liveness probe (version skew,
+            # a future auth layer) must surface as ServerError, not as a
+            # silent False that reads like a dead-but-reachable server.
+            raise ServerError(str(response.get("error")), response)
+        return bool(response.get("pong"))
 
     def submit(self, kind: str, payload: Dict[str, object],
                name: Optional[str] = None,

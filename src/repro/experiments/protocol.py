@@ -55,6 +55,14 @@ from typing import Dict, Optional
 #: a structured error so a stale client fails fast and loud.
 PROTOCOL_VERSION = "experiment-server/v1"
 
+#: The complete verb inventory — the contract the static lint's R8
+#: symmetry check enforces: every verb here must have a server dispatch
+#: arm and a client method with a structured-error path, and no side may
+#: speak a verb that is not here.  Adding a verb starts by adding it to
+#: this tuple; the lint then points at whichever surface is missing.
+VERBS = ("hello", "submit", "status", "result", "cancel", "drain", "gc",
+         "ping")
+
 #: Hard per-frame ceiling (bytes, including the newline).  A frame this
 #: large is a bug or an attack, not a job digest; both sides drop the
 #: connection rather than buffer unboundedly.

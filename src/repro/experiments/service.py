@@ -130,6 +130,17 @@ def _supervised_entry(worker: Callable[[object], Dict[str, object]],
     the supervisor never reads a torn result; an injected crash exits
     before any file appears, which the supervisor reads as a crash.
     """
+    # The fork inherits whatever signal plumbing the supervising process
+    # had installed (the soak harness runs this service inside the async
+    # server's process tree): detach any wakeup fd and restore default
+    # dispositions so a timeout-kill aimed at this worker never writes
+    # into a parent's self-pipe.
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
     try:
         if fault_plan is not None:
             fault_plan.apply(name, attempt)

@@ -55,7 +55,6 @@ class Process:
         return self.vmas.mmap(size, kind=kind, fixed_address=fixed_address,
                               allow_1g_pages=allow_1g_pages, name=name)
 
-    # lint-allow: R2 delegation only; MimicOS.munmap owns the tlb_shootdown
     def munmap(self, vma: VirtualMemoryArea) -> None:
         """Remove a mapping."""
         self.counters.add("munmap_calls")

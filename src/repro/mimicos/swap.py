@@ -64,7 +64,6 @@ class SwapSubsystem:
     # ------------------------------------------------------------------ #
     # Swap out / in
     # ------------------------------------------------------------------ #
-    # lint-allow: R2 slot bookkeeping; kernel reclaim sites broadcast the shootdown
     def swap_out(self, pid: int, vpn: int, now_cycles: int = 0,
                  trace: Optional[KernelRoutineTrace] = None) -> int:
         """Write one page to the swap file; returns the I/O latency in cycles."""

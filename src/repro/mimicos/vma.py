@@ -135,7 +135,6 @@ class VMAManager:
         self._insert(vma)
         return vma
 
-    # lint-allow: R2 pure VMA bookkeeping; MimicOS.munmap owns the shootdown
     def munmap(self, vma: VirtualMemoryArea) -> None:
         """Remove a VMA."""
         if vma.start not in self._vmas or self._vmas[vma.start] is not vma:

@@ -1,0 +1,23 @@
+"""R6 negative fixtures: derived, forked, opaque and pragma'd seeds."""
+
+from repro.common.rng import DeterministicRNG
+
+
+def config_stream(config):
+    # Derived from the experiment identity: allowed.
+    return DeterministicRNG(seed=config.seed)
+
+
+def forked_stream(rng, index):
+    # A forked child stream: allowed (fork is a seed-chain operation).
+    return DeterministicRNG(seed=rng.fork(index).snapshot_seed)
+
+
+def opaque_stream(value):
+    # Opaque provenance: a name-based pass cannot judge it; allowed.
+    return DeterministicRNG(seed=value)
+
+
+def documented_fallback():
+    # lint-allow: R6 fixture rationale: fixed fallback is model identity
+    return DeterministicRNG(seed=3)

@@ -1,0 +1,18 @@
+"""R10 negative fixture: full fork hygiene including the inherited fd."""
+
+import multiprocessing
+import os
+import signal
+
+
+def _entry(job, listen_fd):
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.close(listen_fd)
+    return job
+
+
+def launch(job, listen_fd):
+    proc = multiprocessing.Process(target=_entry, args=(job, listen_fd))
+    proc.start()
+    return proc

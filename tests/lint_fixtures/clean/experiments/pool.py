@@ -1,0 +1,35 @@
+"""R9 negative fixtures: every sanctioned release shape."""
+
+import socket
+from multiprocessing import Pool
+
+
+def probe(host, port):
+    # try/finally guard: released on every exit.
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"ping\n")
+        return sock.recv(16)
+    finally:
+        sock.close()
+
+
+def fan_out(jobs):
+    # Context manager owns the release.
+    with Pool(processes=4) as pool:
+        return pool.map(len, jobs)
+
+
+def open_channel(host, port):
+    # Ownership transfers to the caller.
+    sock = socket.create_connection((host, port))
+    return sock
+
+
+class Transport:
+    def __init__(self, host, port):
+        # Escapes into owner state; close() owns the release.
+        self.sock = socket.create_connection((host, port))
+
+    def close(self):
+        self.sock.close()

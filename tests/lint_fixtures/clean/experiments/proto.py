@@ -1,0 +1,22 @@
+"""R8 negative fixtures: a symmetric verb surface with error paths."""
+
+ERROR_UNKNOWN_VERB = "unknown_verb"
+
+VERBS = ("ping",)
+
+
+def dispatch(verb, payload):
+    if verb == "ping":
+        return {"ok": True, "pong": True}
+    return {"ok": False, "error": ERROR_UNKNOWN_VERB}
+
+
+class Client:
+    def request(self, verb, **fields):
+        return {"ok": True}
+
+    def ping(self):
+        response = self.request("ping")
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error"))
+        return bool(response.get("pong"))

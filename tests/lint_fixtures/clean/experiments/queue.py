@@ -1,0 +1,13 @@
+"""R7 negative fixtures: store-first completion, journaled quarantine."""
+
+
+def complete(journal, store, key, digest):
+    # Store first, then journal: a crash between the two leaves an
+    # unreferenced store object the next gc sweep collects.
+    store.put(key, digest)
+    journal.append({"event": "job_completed", "key": key})
+
+
+def quarantine_job(journal, state, key):
+    state[key] = "quarantined"
+    journal.append({"event": "job_quarantined", "key": key})

@@ -1,0 +1,13 @@
+"""R6 positive fixtures: missing and literal seeds at construction."""
+
+from repro.common.rng import DeterministicRNG
+
+
+def default_stream():
+    # BUG SHAPE: no seed at all — every caller shares one stream.
+    return DeterministicRNG()
+
+
+def baked_stream():
+    # BUG SHAPE: constant seed — distinct configs collapse onto one stream.
+    return DeterministicRNG(seed=42)

@@ -1,0 +1,18 @@
+"""R10 positive fixture: signal-hygienic entry that keeps the inherited fd."""
+
+import multiprocessing
+import signal
+
+
+def _entry(job, listen_fd):
+    # BUG SHAPE: resets signals but never closes the inherited listening
+    # fd — a worker outliving a SIGKILLed server keeps the port bound.
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    return job
+
+
+def launch(job, listen_fd):
+    proc = multiprocessing.Process(target=_entry, args=(job, listen_fd))
+    proc.start()
+    return proc

@@ -1,0 +1,21 @@
+"""R9 positive fixtures: bare acquisitions with no structural release."""
+
+import socket
+from multiprocessing import Pool
+
+
+def probe(host, port):
+    # BUG SHAPE: an exception after connect leaks the socket fd.
+    sock = socket.create_connection((host, port))
+    sock.sendall(b"ping\n")
+    data = sock.recv(16)
+    sock.close()
+    return data
+
+
+def fan_out(jobs):
+    # BUG SHAPE: a failing map leaks the worker pool.
+    pool = Pool(processes=4)
+    results = pool.map(len, jobs)
+    pool.terminate()
+    return results

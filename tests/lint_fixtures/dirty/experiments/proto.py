@@ -1,0 +1,35 @@
+"""R8 positive fixtures: every drift direction on one tiny protocol.
+
+The inventory declares ``ping`` and ``fetch``; the dispatcher handles
+``ping`` plus an undeclared ``legacy`` verb and has no unknown-verb
+fallback; the client pings without inspecting structured errors and
+also speaks the undeclared ``legacy`` verb; nobody ever sends ``fetch``.
+"""
+
+VERBS = ("ping", "fetch")
+
+
+def dispatch(verb, payload):
+    # BUG SHAPES: handles an undeclared verb, misses 'fetch', and an
+    # unknown verb falls through as None instead of a structured error.
+    if verb == "ping":
+        return {"ok": True, "pong": True}
+    if verb == "legacy":
+        return {"ok": True, "payload": payload}
+    return None
+
+
+class Client:
+    def request(self, verb, **fields):
+        return {"ok": True}
+
+    def ping(self):
+        # BUG SHAPE: a structured rejection surfaces as a KeyError.
+        return self.request("ping")["pong"]
+
+    def legacy(self):
+        # BUG SHAPE: speaks a verb the inventory never declared.
+        response = self.request("legacy")
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error"))
+        return response

@@ -1,0 +1,14 @@
+"""R7 positive fixtures: journal-first completion and a silent quarantine."""
+
+
+def complete(journal, store, key, digest):
+    # BUG SHAPE: journals completion before the store write — a crash
+    # between the two replays as a done job with no stored bytes.
+    journal.append({"event": "job_completed", "key": key})
+    store.put(key, digest)
+
+
+def quarantine_job(state, key):
+    # BUG SHAPE: the quarantine decision never reaches the journal, so a
+    # crash-replay silently reverts the job to its previous state.
+    state[key] = "quarantined"

@@ -1,0 +1,16 @@
+"""Cross-module fixture, module A: a pure-bookkeeping mutator.
+
+``Bookkeeper.munmap`` drops the mapping without any invalidation of its
+own — the caller (``kernel.Kernel.munmap``, in module B) broadcasts the
+shootdown.  Under PR 9's intra-module graph this site needed a
+caller-holds-contract pragma; the whole-program caller-coverage check
+proves it instead.
+"""
+
+
+class Bookkeeper:
+    def __init__(self):
+        self.mappings = {}
+
+    def munmap(self, vma):
+        self.mappings.pop(vma, None)

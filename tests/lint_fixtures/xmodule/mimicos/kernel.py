@@ -1,0 +1,22 @@
+"""Cross-module fixture, module B: the kernel that owns the shootdown.
+
+``Kernel.munmap`` broadcasts the TLB shootdown and then delegates the
+VMA bookkeeping to ``bookkeep.Bookkeeper`` (module A).  The cross-module
+edge ``Kernel.munmap -> Bookkeeper.munmap`` is what makes module A's
+mutator provably covered; the sensitivity test deletes the delegation
+call and expects the finding to come back.
+"""
+
+from mimicos.bookkeep import Bookkeeper
+
+
+class Kernel:
+    def __init__(self):
+        self.books = Bookkeeper()
+
+    def tlb_shootdown(self, vma):
+        pass
+
+    def munmap(self, vma):
+        self.tlb_shootdown(vma)
+        self.books.munmap(vma)

@@ -2,10 +2,11 @@
 
 Each rule gets a positive (dirty fixture tree) and a negative (clean
 fixture tree) case, the baseline workflow is exercised end-to-end
-through the real CLI entry point, and the one sensitivity test that
-matters most — deleting the RMM range-lookaside invalidation that PR 4
-fixed — is run against a mutated copy of the *real* source file, so the
-rule is proven against the real bug, not just a toy fixture.
+through the real CLI entry point, and two sensitivity tests run against
+mutated copies of *real* source files — deleting the RMM range-lookaside
+invalidation that PR 4 fixed, and deleting the cross-module edge that
+covers a caller-holds-contract mutator — so the rules are proven against
+the real bugs, not just toy fixtures.
 """
 
 import json
@@ -18,9 +19,14 @@ from repro.analysis.lint import (
     AsyncSafetyRule,
     DeterminismRule,
     DurabilityRule,
+    ForkHygieneRule,
     InvalidationRule,
+    JournalOrderingRule,
     ParitySurfaceRule,
+    ProtocolSymmetryRule,
     RepoIndex,
+    ResourceLifecycleRule,
+    SeedFlowRule,
     default_rules,
     load_baseline,
     run_rules,
@@ -32,6 +38,7 @@ from repro.analysis.lint.__main__ import PACKAGE_ROOT, main
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 DIRTY = FIXTURES / "dirty"
 CLEAN = FIXTURES / "clean"
+XMODULE = FIXTURES / "xmodule"
 
 
 def lint_tree(root, rule):
@@ -155,6 +162,193 @@ def test_r5_clean_tree_honours_host_only_keys():
 
 
 # --------------------------------------------------------------------- #
+# Whole-program graph: the two-module invalidation chain
+# --------------------------------------------------------------------- #
+def test_xmodule_chain_passes_whole_program_but_not_intra_module():
+    """The caller-holds-contract shape the three deleted pragmas covered.
+
+    Module A's mutator has no witness of its own; module B's kernel
+    broadcasts the shootdown and delegates across the import boundary.
+    The intra-module graph cannot see the edge (the PR 9 blind spot);
+    the whole-program graph proves the coverage.
+    """
+    index = RepoIndex.build(XMODULE)
+    # The intra-module graph has no Kernel.munmap -> Bookkeeper.munmap
+    # edge; the whole-program graph does.
+    intra = index.call_graph("mimicos/kernel.py")["Kernel.munmap"]
+    assert not any("Bookkeeper" in callee for callee in intra)
+    global_edges = index.global_graph()[("mimicos/kernel.py", "Kernel.munmap")]
+    assert ("mimicos/bookkeep.py", "Bookkeeper.munmap") in global_edges
+    # And the rule accepts the chain with no pragma anywhere.
+    findings, suppressed = lint_tree(XMODULE, InvalidationRule)
+    assert findings == [] and suppressed == []
+
+
+def test_xmodule_chain_sensitivity_deleting_the_cross_module_edge(tmp_path):
+    """Severing the delegation edge re-exposes the uncovered mutator."""
+    root = tmp_path / "tree"
+    shutil.copytree(XMODULE, root)
+    kernel = root / "mimicos" / "kernel.py"
+    source = kernel.read_text()
+    assert "self.books.munmap(vma)" in source
+    kernel.write_text(source.replace("self.books.munmap(vma)", "pass"))
+    findings, _ = lint_tree(root, InvalidationRule)
+    assert ("R2", "mimicos/bookkeep.py", "Bookkeeper.munmap",
+            "no-shootdown") in keys(findings)
+
+
+def test_real_tree_proves_the_deleted_caller_holds_contract_pragmas():
+    """The three PR 9 pragma sites are provably clean, pragma-free.
+
+    ``VMAManager.munmap`` ← ``Process.munmap`` ← ``MimicOS.munmap``
+    (which broadcasts), and ``SwapSubsystem.swap_out`` ← the kernel
+    reclaim sites: whole-program caller coverage, no annotations.
+    """
+    for relpath in ("mimicos/vma.py", "mimicos/process.py",
+                    "mimicos/swap.py"):
+        assert "lint-allow: R2" not in (PACKAGE_ROOT / relpath).read_text()
+    index = RepoIndex.build(PACKAGE_ROOT)
+    report = run_rules(index, [InvalidationRule()])
+    mutators = {f.symbol for f in report.findings + report.suppressed}
+    assert "VMAManager.munmap" not in mutators
+    assert "Process.munmap" not in mutators
+    assert "SwapSubsystem.swap_out" not in mutators
+
+
+# --------------------------------------------------------------------- #
+# R6 seed flow
+# --------------------------------------------------------------------- #
+def test_r6_flags_missing_and_literal_seeds():
+    findings, _ = lint_tree(DIRTY, SeedFlowRule)
+    got = keys(findings)
+    assert ("R6", "core/rng_use.py", "default_stream",
+            "seed-missing:DeterministicRNG") in got
+    assert ("R6", "core/rng_use.py", "baked_stream",
+            "seed-literal:DeterministicRNG=42") in got
+
+
+def test_r6_accepts_derived_opaque_and_pragmad_seeds():
+    findings, suppressed = lint_tree(CLEAN, SeedFlowRule)
+    assert findings == []
+    # The documented fallback is suppressed by its pragma, not silent.
+    assert any(f.symbol == "documented_fallback" for f in suppressed)
+
+
+# --------------------------------------------------------------------- #
+# R7 journal/store ordering
+# --------------------------------------------------------------------- #
+def test_r7_flags_journal_first_and_silent_quarantine():
+    findings, _ = lint_tree(DIRTY, JournalOrderingRule)
+    got = keys(findings)
+    assert ("R7", "experiments/queue.py", "complete",
+            "journal-before-store") in got
+    assert ("R7", "experiments/queue.py", "quarantine_job",
+            "unjournaled-failure-exit") in got
+
+
+def test_r7_accepts_store_first_and_journaled_quarantine():
+    findings, _ = lint_tree(CLEAN, JournalOrderingRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R8 protocol symmetry
+# --------------------------------------------------------------------- #
+def test_r8_flags_every_drift_direction():
+    findings, _ = lint_tree(DIRTY, ProtocolSymmetryRule)
+    got = keys(findings)
+    assert ("R8", "experiments/proto.py", "VERBS",
+            "no-server-handler:fetch") in got
+    assert ("R8", "experiments/proto.py", "VERBS",
+            "no-client-method:fetch") in got
+    assert ("R8", "experiments/proto.py", "dispatch",
+            "undeclared-verb:legacy") in got
+    assert ("R8", "experiments/proto.py", "Client.legacy",
+            "undeclared-verb:legacy") in got
+    assert ("R8", "experiments/proto.py", "Client.ping",
+            "no-error-path:ping") in got
+    assert ("R8", "experiments/proto.py", "dispatch",
+            "no-unknown-verb-fallback") in got
+
+
+def test_r8_clean_surface_is_symmetric():
+    findings, _ = lint_tree(CLEAN, ProtocolSymmetryRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R9 resource lifecycle
+# --------------------------------------------------------------------- #
+def test_r9_flags_bare_acquisitions():
+    findings, _ = lint_tree(DIRTY, ResourceLifecycleRule)
+    got = keys(findings)
+    assert ("R9", "experiments/pool.py", "probe",
+            "leak:socket.create_connection") in got
+    assert ("R9", "experiments/pool.py", "fan_out",
+            "leak:multiprocessing.Pool") in got
+
+
+def test_r9_accepts_every_release_shape():
+    # with, try/finally, return-transfer and self-escape all pass.
+    findings, _ = lint_tree(CLEAN, ResourceLifecycleRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R10 fork hygiene (whole-program)
+# --------------------------------------------------------------------- #
+def test_r10_flags_unhygienic_entry_and_kept_fd():
+    findings, _ = lint_tree(DIRTY, ForkHygieneRule)
+    got = keys(findings)
+    # Same entry R4 flags intra-module, now proven from the fork site.
+    assert ("R10", "experiments/server.py", "spawn",
+            "fork-hygiene:_worker_entry:signal.set_wakeup_fd,signal.signal"
+            ) in got
+    # Signal-hygienic entry that keeps the inherited listening fd.
+    assert ("R10", "experiments/forker.py", "launch",
+            "fork-fd-close:_entry") in got
+
+
+def test_r10_clean_tree_is_clean():
+    findings, _ = lint_tree(CLEAN, ForkHygieneRule)
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CLI surface added in PR 10
+# --------------------------------------------------------------------- #
+def test_rules_csv_selection(tmp_path):
+    out = tmp_path / "report.json"
+    main(["--root", str(DIRTY), "--no-baseline", "--rules", "R3,R6",
+          "--json", str(out)])
+    payload = json.loads(out.read_text())
+    assert set(payload["by_rule"]) == {"R3", "R6"}
+    assert payload["rules_run"] == ["R3", "R6"]
+
+
+def test_rules_csv_unknown_id_is_usage_error():
+    assert main(["--root", str(DIRTY), "--no-baseline",
+                 "--rules", "R3,R99"]) == 2
+
+
+def test_format_json_emits_machine_report(capsys):
+    code = main(["--root", str(CLEAN), "--no-baseline", "--format", "json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == 0
+    assert payload["rules_run"] == [r.rule_id for r in default_rules()]
+    assert payload["wall_seconds"] >= 0
+    assert payload["new_findings"] == []
+
+
+def test_summary_reports_wall_clock_and_per_rule_counts(capsys):
+    main(["--root", str(DIRTY), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert "[per-rule " in out and "R3:2" in out
+    assert out.rstrip().endswith("s")  # "... in 0.12s"
+
+
+# --------------------------------------------------------------------- #
 # Baseline workflow (through the real CLI)
 # --------------------------------------------------------------------- #
 def test_baseline_round_trip(tmp_path):
@@ -231,5 +425,5 @@ def test_repo_lints_clean_against_checked_in_baseline():
 
 def test_all_rules_have_distinct_ids_and_descriptions():
     rules = default_rules()
-    assert len({rule.rule_id for rule in rules}) == len(rules) == 5
+    assert len({rule.rule_id for rule in rules}) == len(rules) == 10
     assert all(rule.description for rule in rules)
